@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 14 reproduction: throughput of multi-NeuPIMs systems as the
+ * (TP, PP) parallelization scheme changes, at a fixed total of 256
+ * requests, for 4 / 8 / 16 / 64 devices.
+ *
+ * Paper's shape: for a given device count, the scheme with more
+ * tensor parallelism wins (larger per-device batch keeps the NPU
+ * efficient); overall throughput drops as the per-device batch
+ * shrinks with deeper pipelines.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/system.h"
+
+using namespace neupims;
+
+namespace {
+
+struct Combo
+{
+    int devices;
+    int tp;
+    int pp;
+    const char *model;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 14: multi-NeuPIMs parallelization schemes "
+                "(256 requests, 1k tokens/s) ===\n\n");
+
+    // The paper pairs device counts with the smallest model that
+    // needs them: (TP,PP) combos per group.
+    std::vector<Combo> combos = {
+        {4, 4, 1, "GPT3-7B"},   {4, 2, 2, "GPT3-7B"},
+        {8, 8, 1, "GPT3-13B"},  {8, 4, 2, "GPT3-13B"},
+        {16, 8, 2, "GPT3-30B"}, {16, 4, 4, "GPT3-30B"},
+        {64, 16, 4, "GPT3-175B"}, {64, 8, 8, "GPT3-175B"},
+    };
+    if (bench::fastMode())
+        combos.resize(4);
+
+    auto ds = runtime::shareGptDataset();
+    auto samples = bench::warmBatch(ds, 256);
+    auto dev = core::DeviceConfig::neuPims();
+
+    core::TableWriter table({"devices", "model", "(TP,PP)",
+                             "per-dev batch", "1k tokens/s"},
+                            14);
+    table.printHeader();
+
+    int prev_devices = -1;
+    double prev_tput = 0.0;
+    bool tp_preferred = true;
+    for (const auto &c : combos) {
+        auto llm = model::modelByName(c.model);
+        if (llm.numHeads % c.tp != 0 || llm.numLayers % c.pp != 0)
+            continue;
+        core::ParallelismConfig par;
+        par.tp = c.tp;
+        par.pp = c.pp;
+        core::MultiDeviceSystem sys(dev, llm, par);
+        auto res = sys.run(samples);
+        char combo[32];
+        std::snprintf(combo, sizeof(combo), "(%d,%d)", c.tp, c.pp);
+        table.printRow({std::to_string(c.devices), llm.name, combo,
+                        std::to_string(res.perDeviceBatch),
+                        core::TableWriter::num(
+                            core::kiloTokensPerSec(res.tokensPerSec),
+                            2)});
+        if (c.devices == prev_devices)
+            tp_preferred &= prev_tput >= res.tokensPerSec;
+        prev_devices = c.devices;
+        prev_tput = res.tokensPerSec;
+    }
+
+    std::printf("\npaper shape: within each device count the higher-TP "
+                "scheme wins -> %s\n",
+                tp_preferred ? "REPRODUCED" : "NOT reproduced");
+    return 0;
+}

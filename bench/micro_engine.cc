@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * DRAM command throughput, PIM kernel execution, systolic-array model
+ * evaluation and event-queue overhead. These guard the simulator's
+ * own performance (the Fig. 12 grid replays hundreds of millions of
+ * commands).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.h"
+#include "dram/controller.h"
+#include "npu/systolic_array.h"
+
+using namespace neupims;
+using namespace neupims::dram;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(static_cast<Cycle>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_MemStream(benchmark::State &state)
+{
+    const int rows = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        TimingParams t;
+        Organization org;
+        MemoryController mc(eq, t, org, ControllerConfig::make(true));
+        for (int i = 0; i < rows; ++i) {
+            MemJob job;
+            job.bank = i % org.banksPerChannel;
+            job.row = i / org.banksPerChannel;
+            job.bursts = org.burstsPerRow();
+            mc.enqueueMem(std::move(job));
+        }
+        eq.run();
+        benchmark::DoNotOptimize(mc.completedMemJobs());
+    }
+    state.SetItemsProcessed(state.iterations() * rows);
+    state.SetBytesProcessed(state.iterations() * rows * 1024);
+}
+BENCHMARK(BM_MemStream)->Arg(1024)->Arg(16384);
+
+void
+BM_PimKernel(benchmark::State &state)
+{
+    const bool composite = state.range(1) != 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        TimingParams t;
+        Organization org;
+        MemoryController mc(eq, t, org,
+                            ControllerConfig::make(composite));
+        PimJob job;
+        job.rowTiles = static_cast<int>(state.range(0));
+        job.banksUsed = t.pimParallelBanks;
+        job.gwrites = 2;
+        job.resultBursts = 8;
+        job.composite = composite;
+        job.header = composite;
+        mc.enqueuePim(std::move(job));
+        eq.run();
+        benchmark::DoNotOptimize(mc.completedPimJobs());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PimKernel)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 1});
+
+void
+BM_SystolicArrayModel(benchmark::State &state)
+{
+    npu::SystolicArrayPool pool(npu::SystolicArrayConfig{}, 8);
+    std::int64_t m = state.range(0);
+    Cycle total = 0;
+    for (auto _ : state) {
+        npu::GemmShape shape{m, 7168, 7168};
+        total += pool.gemmCycles(shape);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_SystolicArrayModel)->Arg(64)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+#include "analysis/area_model.h"
+
+namespace neupims::analysis {
+
+AreaEstimate
+dualRowBufferArea(const BankAreaBreakdown &bank)
+{
+    AreaEstimate est;
+    est.baselineBank = bank.total();
+    // Second sense-amp stripe + bit-line isolation gates (~10% of a
+    // stripe) to mux the shared bit lines between the two buffers.
+    double addition = bank.senseAmps * 1.10;
+    est.dualBufferBank = est.baselineBank + addition;
+    est.overheadFraction = addition / est.baselineBank;
+    return est;
+}
+
+} // namespace neupims::analysis

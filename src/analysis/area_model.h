@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CACTI-style area estimate of the dual-row-buffer addition (paper
+ * §8.2: doubling the row-buffer resources at 22 nm costs 3.11% of
+ * bank area).
+ *
+ * Substitution note (DESIGN.md): we reproduce the estimate, not the
+ * CACTI tool — the model decomposes a DRAM bank into cell array,
+ * row/column decoders, sense-amplifier stripe (the row buffer) and
+ * I/O, with area fractions representative of CACTI 7 @ 22 nm, and
+ * reports the delta from doubling the sense-amp stripe plus the
+ * second set of bit-line isolation gates.
+ */
+
+#ifndef NEUPIMS_ANALYSIS_AREA_MODEL_H_
+#define NEUPIMS_ANALYSIS_AREA_MODEL_H_
+
+namespace neupims::analysis {
+
+struct BankAreaBreakdown
+{
+    double cellArray = 0.858;   ///< fraction of bank area
+    double rowDecoder = 0.040;
+    double columnPath = 0.045;
+    double senseAmps = 0.028;   ///< the row buffer proper
+    double ioAndControl = 0.029;
+
+    double total() const
+    {
+        return cellArray + rowDecoder + columnPath + senseAmps +
+               ioAndControl;
+    }
+};
+
+struct AreaEstimate
+{
+    double baselineBank = 1.0;
+    double dualBufferBank = 1.0;
+    double overheadFraction = 0.0; ///< (dual - base) / base
+};
+
+/**
+ * Area overhead of dual row buffers: a second sense-amp stripe plus
+ * isolation gates (10% of a stripe) on every bank.
+ */
+AreaEstimate dualRowBufferArea(const BankAreaBreakdown &bank = {});
+
+} // namespace neupims::analysis
+
+#endif // NEUPIMS_ANALYSIS_AREA_MODEL_H_

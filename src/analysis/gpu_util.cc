@@ -1,0 +1,81 @@
+#include "analysis/gpu_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace neupims::analysis {
+
+core::GpuConfig
+rtx3090()
+{
+    core::GpuConfig cfg;
+    cfg.name = "RTX 3090";
+    cfg.peakTflops = 142.0; // fp16 tensor peak
+    cfg.hbmGBps = 936.0;
+    cfg.memoryBytes = 24_GiB;
+    return cfg;
+}
+
+core::GpuConfig
+a100_40gb()
+{
+    core::GpuConfig cfg;
+    cfg.name = "A100";
+    cfg.peakTflops = 312.0;
+    cfg.hbmGBps = 1555.0;
+    cfg.memoryBytes = 40_GiB;
+    return cfg;
+}
+
+GpuUtilization
+analyzeGpuUtilization(const model::LlmConfig &model,
+                      const core::GpuConfig &gpu, int batch,
+                      double avg_seq_len)
+{
+    NEUPIMS_ASSERT(batch >= 1);
+
+    // Size the cluster by memory capacity (weights + KV cache),
+    // exactly how deployments provision GPUs (§3.1).
+    double weight_bytes = static_cast<double>(model.totalParams()) *
+                          model.bytesPerParam;
+    double kv_bytes = static_cast<double>(batch) * avg_seq_len *
+                      2.0 * static_cast<double>(model.dModel) *
+                      model.bytesPerParam *
+                      static_cast<double>(model.numLayers);
+    double total = weight_bytes + kv_bytes;
+    int devices = static_cast<int>(std::ceil(
+        total / (0.9 * static_cast<double>(gpu.memoryBytes))));
+    devices = std::max(devices, 1);
+
+    core::GpuModel gm(gpu);
+    // Tensor-parallel across the provisioned devices (§3.1 deploys
+    // with tensor/pipeline parallelism; TP keeps batch intact).
+    int tp = 1;
+    for (int cand = devices; cand >= 1; --cand) {
+        if (model.numHeads % cand == 0) {
+            tp = cand;
+            break;
+        }
+    }
+    auto t = gm.layerTiming(model, tp, batch, avg_seq_len);
+
+    GpuUtilization u;
+    u.model = model.name;
+    u.gpu = gpu.name;
+    u.devices = devices;
+    u.computeUtil = t.computeUtil;
+    u.bandwidthUtil = t.bandwidthUtil;
+    u.capacityUtil = total / (static_cast<double>(devices) *
+                              static_cast<double>(gpu.memoryBytes));
+    // Layer-wise variation: GEMM-dominated layers vs the attention
+    // extremes (the paper's error bars).
+    double gemm_util =
+        t.computeUtil * t.totalSeconds / std::max(1e-12, t.gemmSeconds);
+    u.computeUtilMax = std::min(1.0, gemm_util);
+    u.computeUtilMin = t.computeUtil * 0.2; // attention-heavy slices
+    return u;
+}
+
+} // namespace neupims::analysis

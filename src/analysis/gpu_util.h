@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GPU resource-utilization study (paper Figure 5): compute, bandwidth
+ * and capacity utilization of RTX3090- and A100-class systems running
+ * four LLMs. Capacity utilization approaches 100% (device count is
+ * sized by memory), while compute stays under 40% — the imbalance
+ * that motivates the NPU+PIM split.
+ */
+
+#ifndef NEUPIMS_ANALYSIS_GPU_UTIL_H_
+#define NEUPIMS_ANALYSIS_GPU_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/gpu_model.h"
+#include "model/llm_config.h"
+
+namespace neupims::analysis {
+
+struct GpuUtilization
+{
+    std::string model;
+    std::string gpu;
+    int devices = 0;          ///< GPUs needed for weights + KV cache
+    double computeUtil = 0.0;
+    double bandwidthUtil = 0.0;
+    double capacityUtil = 0.0;
+    /** Layer-wise variation (the paper's error bars). */
+    double computeUtilMin = 0.0;
+    double computeUtilMax = 0.0;
+};
+
+/** Analyze one model on one GPU type. */
+GpuUtilization analyzeGpuUtilization(const model::LlmConfig &model,
+                                     const core::GpuConfig &gpu,
+                                     int batch, double avg_seq_len);
+
+/** RTX 3090 24 GB configuration. */
+core::GpuConfig rtx3090();
+/** A100 40 GB configuration. */
+core::GpuConfig a100_40gb();
+
+} // namespace neupims::analysis
+
+#endif // NEUPIMS_ANALYSIS_GPU_UTIL_H_

@@ -1,0 +1,65 @@
+#include "analysis/roofline.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::analysis {
+
+double
+attainable(const MachineSpec &machine, double intensity)
+{
+    NEUPIMS_ASSERT(intensity >= 0.0);
+    return std::min(machine.peakTflops,
+                    machine.memGBps * 1e9 * intensity / 1e12);
+}
+
+namespace {
+
+/** Accumulate flops and streamed bytes of a set of operators. */
+void
+accumulate(const std::vector<model::OpDesc> &ops, bool gemv_group,
+           int batch, double &flops, double &bytes)
+{
+    for (const auto &op : ops) {
+        bool in_group = model::isGemvOp(op.kind);
+        if (in_group != gemv_group)
+            continue;
+        if (model::isVectorOp(op.kind))
+            continue;
+        double scale = op.perRequest ? static_cast<double>(batch) : 1.0;
+        flops += op.flops() * scale;
+        bytes += static_cast<double>(op.streamBytes()) * scale;
+    }
+}
+
+} // namespace
+
+std::vector<RooflinePoint>
+rooflinePoints(const model::LlmConfig &cfg, const MachineSpec &machine,
+               int batch, int seq_len)
+{
+    std::vector<RooflinePoint> points;
+    const int tp = 1; // intensity is tp-invariant; use the full model
+    for (model::Phase phase :
+         {model::Phase::Summarization, model::Phase::Generation}) {
+        auto ops = model::buildDecoderOps(cfg, tp, batch, phase, seq_len);
+        for (bool gemv_group : {true, false}) {
+            double flops = 0.0, bytes = 0.0;
+            accumulate(ops, gemv_group, batch, flops, bytes);
+            NEUPIMS_ASSERT(bytes > 0.0);
+            RooflinePoint p;
+            p.model = cfg.name;
+            p.operatorGroup =
+                gemv_group ? "Logit/Attend" : "QKV/Proj/FFN";
+            p.phase = phase;
+            p.intensity = flops / bytes;
+            p.attainableTflops = attainable(machine, p.intensity);
+            p.memoryBound = p.intensity < machine.balance();
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+} // namespace neupims::analysis

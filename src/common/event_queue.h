@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal gem5-style event queue: events are callbacks scheduled at an
+ * absolute cycle; run() pops them in (cycle, sequence) order so events
+ * scheduled at the same cycle execute in scheduling order
+ * (deterministic replay). Components never tick every cycle — they
+ * schedule their next interesting time, which is what keeps
+ * GPT3-175B-scale windows simulable.
+ */
+
+#ifndef NEUPIMS_COMMON_EVENT_QUEUE_H_
+#define NEUPIMS_COMMON_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace neupims {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute cycle @p when.
+     * @pre when >= now(): events cannot be scheduled in the past.
+     */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        NEUPIMS_ASSERT(when >= now_, "when=", when, " now=", now_);
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Whether any event is pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycle of the next pending event. @pre !empty() */
+    Cycle
+    nextEventCycle() const
+    {
+        NEUPIMS_ASSERT(!heap_.empty());
+        return heap_.top().when;
+    }
+
+    /**
+     * Run until the queue drains or @p limit cycles is exceeded.
+     * @return the final simulated cycle.
+     */
+    Cycle
+    run(Cycle limit = kCycleMax)
+    {
+        while (!heap_.empty()) {
+            // Copy out the entry: callbacks may schedule new events.
+            Entry e = heap_.top();
+            if (e.when > limit) {
+                now_ = limit;
+                return now_;
+            }
+            heap_.pop();
+            NEUPIMS_ASSERT(e.when >= now_, "time went backwards");
+            now_ = e.when;
+            e.cb();
+            ++executed_;
+        }
+        return now_;
+    }
+
+    /** Run a single event. @return false if the queue was empty. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+        ++executed_;
+        return true;
+    }
+
+    /** Total events executed (engine statistics). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace neupims
+
+#endif // NEUPIMS_COMMON_EVENT_QUEUE_H_

@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace neupims {
+
+Log::Level Log::level_ = Log::Level::Warn;
+
+void
+Log::setLevel(Level level)
+{
+    level_ = level;
+}
+
+Log::Level
+Log::level()
+{
+    return level_;
+}
+
+void
+Log::inform(const std::string &msg)
+{
+    if (level_ >= Level::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+Log::warn(const std::string &msg)
+{
+    if (level_ >= Level::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+Log::debug(const std::string &msg)
+{
+    if (level_ >= Level::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+void
+Log::fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+Log::panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace neupims

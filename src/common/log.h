@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gem5-style status/error reporting: inform(), warn(), fatal(), panic().
+ *
+ * fatal() is for user errors (bad configuration) and exits cleanly;
+ * panic() is for internal invariant violations and aborts. Both are
+ * [[noreturn]]. Verbosity of inform()/warn() is controlled by
+ * Log::setLevel() so tests and benches can silence chatter.
+ */
+
+#ifndef NEUPIMS_COMMON_LOG_H_
+#define NEUPIMS_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace neupims {
+
+class Log
+{
+  public:
+    enum class Level { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+    static void setLevel(Level level);
+    static Level level();
+
+    static void inform(const std::string &msg);
+    static void warn(const std::string &msg);
+    static void debug(const std::string &msg);
+    [[noreturn]] static void fatal(const std::string &msg);
+    [[noreturn]] static void panic(const std::string &msg);
+
+  private:
+    static Level level_;
+};
+
+/** Build a message from streamable parts: logMsg("x=", x, " y=", y). */
+template <typename... Args>
+std::string
+logMsg(Args &&...args)
+{
+    std::ostringstream oss;
+    ((oss << args), ...);
+    return oss.str();
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    Log::inform(logMsg(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    Log::warn(logMsg(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    Log::fatal(logMsg(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    Log::panic(logMsg(std::forward<Args>(args)...));
+}
+
+/** panic() unless the invariant holds. Enabled in all build types. */
+#define NEUPIMS_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::neupims::panic("assertion failed: " #cond " ",               \
+                             ::neupims::logMsg(__VA_ARGS__), " at ",        \
+                             __FILE__, ":", __LINE__);                      \
+        }                                                                   \
+    } while (0)
+
+} // namespace neupims
+
+#endif // NEUPIMS_COMMON_LOG_H_

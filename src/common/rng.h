@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * xoshiro256** with a splitmix64 seeder: fast, high-quality, and —
+ * unlike std::mt19937 with std::*_distribution — bit-identical across
+ * standard library implementations, which keeps workload batches (and
+ * therefore bench tables) reproducible everywhere.
+ */
+
+#ifndef NEUPIMS_COMMON_RNG_H_
+#define NEUPIMS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace neupims {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value (xoshiro256**). */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + static_cast<std::uint64_t>(uniform() *
+                                               static_cast<double>(
+                                                   hi - lo + 1));
+    }
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        // Avoid log(0).
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    }
+
+    /** Lognormal sample with the given parameters of ln X. */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * normal());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace neupims
+
+#endif // NEUPIMS_COMMON_RNG_H_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator subsystem.
+ *
+ * The simulator operates on a single 1 GHz clock domain (Table 2 of the
+ * paper: both the NPU and the HBM command clock run at 1 GHz), so one
+ * Cycle equals one nanosecond of simulated time.
+ */
+
+#ifndef NEUPIMS_COMMON_TYPES_H_
+#define NEUPIMS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace neupims {
+
+/** Simulated clock cycle count (1 cycle == 1 ns at the 1 GHz domain). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Bytes of data, used for traffic and capacity accounting. */
+using Bytes = std::uint64_t;
+
+/** Floating point operations, used for utilization accounting. */
+using Flops = double;
+
+/** Identifier types. Plain integers; invalid value is -1. */
+using ChannelId = int;
+using BankId = int;
+using RequestId = std::int64_t;
+
+inline constexpr int kInvalidId = -1;
+
+/** Convert cycles at 1 GHz to seconds. */
+constexpr double
+cyclesToSeconds(Cycle cycles)
+{
+    return static_cast<double>(cycles) * 1e-9;
+}
+
+/** Convert cycles at 1 GHz to microseconds. */
+constexpr double
+cyclesToMicros(Cycle cycles)
+{
+    return static_cast<double>(cycles) * 1e-3;
+}
+
+/** Kibi/mebi/gibi byte helpers for readable configuration literals. */
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+} // namespace neupims
+
+#endif // NEUPIMS_COMMON_TYPES_H_

@@ -1,0 +1,88 @@
+#include "core/batch_builder.h"
+
+#include "common/log.h"
+#include "runtime/bin_packing.h"
+#include "runtime/request.h"
+#include "runtime/sub_batch.h"
+
+namespace neupims::core {
+
+runtime::MhaLatencyParams
+latencyParamsFor(const DeviceConfig &cfg, const model::LlmConfig &model,
+                 int tp)
+{
+    runtime::MhaLatencyParams p;
+    p.embeddingSize =
+        static_cast<double>(model.dModelPerDevice(tp));
+    p.banksPerChannel = static_cast<double>(cfg.org.banksPerChannel);
+    p.dramPageElems =
+        static_cast<double>(cfg.org.pageBytes) / 2.0; // fp16 elements
+    p.numHeads = static_cast<double>(model.headsPerDevice(tp));
+    // One PIM round processes pimParallelBanks rows in
+    // (activation wave + tRCD + compute) cycles, so the per-tile
+    // latency is that round time divided by the parallel banks. The
+    // GWRITE stages one page into the global vector buffer. These
+    // mirror dram::TimingParams.
+    double wave =
+        static_cast<double>((cfg.timing.pimParallelBanks + 3) / 4) *
+        static_cast<double>(cfg.timing.tRRD_L);
+    p.tileLatency =
+        (wave + static_cast<double>(cfg.timing.tRCD +
+                                    cfg.timing.pimComputePerRow)) /
+        static_cast<double>(cfg.timing.pimParallelBanks);
+    p.gwriteLatency =
+        static_cast<double>(cfg.timing.tGWRITE + cfg.timing.caPimCmd);
+    return p;
+}
+
+BatchComposition
+buildComposition(const std::vector<runtime::SequenceSample> &samples,
+                 int channels, bool min_load_packing,
+                 const runtime::MhaLatencyParams &est)
+{
+    NEUPIMS_ASSERT(!samples.empty());
+    NEUPIMS_ASSERT(channels >= 1);
+
+    // Materialize transient Request objects for the assignment
+    // algorithms; only the channel and the current length matter.
+    std::vector<runtime::Request> storage(samples.size());
+    std::vector<runtime::Request *> reqs(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        storage[i].id = static_cast<RequestId>(i);
+        storage[i].inputLength = samples[i].inputLength;
+        storage[i].outputLength = samples[i].outputLength;
+        storage[i].generatedTokens = samples[i].generatedTokens;
+        reqs[i] = &storage[i];
+    }
+
+    if (min_load_packing) {
+        runtime::MhaLatencyEstimator estimator(est);
+        runtime::greedyMinLoadBinPacking(
+            reqs, std::vector<double>(channels, 0.0), estimator);
+    } else {
+        int cursor = 0;
+        runtime::roundRobinAssign(reqs, channels, cursor);
+    }
+
+    auto grouped = runtime::groupByChannel(reqs, channels);
+    auto subs = runtime::partitionSubBatches(grouped);
+
+    auto to_lens = [](const std::vector<std::vector<runtime::Request *>>
+                          &groups) {
+        std::vector<std::vector<int>> lens(groups.size());
+        for (std::size_t ch = 0; ch < groups.size(); ++ch) {
+            lens[ch].reserve(groups[ch].size());
+            for (const auto *req : groups[ch])
+                lens[ch].push_back(req->currentSeqLen());
+        }
+        return lens;
+    };
+
+    BatchComposition out;
+    out.full = to_lens(grouped);
+    out.sb1 = to_lens(subs.sb1);
+    out.sb2 = to_lens(subs.sb2);
+    return out;
+}
+
+} // namespace neupims::core

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bridges the serving runtime and the execution engine: takes warm
+ * workload samples, assigns them to PIM channels (Algorithm 2 or
+ * round-robin per the system under test), partitions sub-batches
+ * (Algorithm 3) and emits the BatchComposition the executor consumes.
+ */
+
+#ifndef NEUPIMS_CORE_BATCH_BUILDER_H_
+#define NEUPIMS_CORE_BATCH_BUILDER_H_
+
+#include <vector>
+
+#include "core/executor.h"
+#include "runtime/latency_model.h"
+#include "runtime/workload.h"
+
+namespace neupims::core {
+
+/**
+ * Build the iteration batch composition from warm samples.
+ *
+ * @param samples warm requests (input/output/progress lengths)
+ * @param channels PIM channels of the device
+ * @param min_load_packing Algorithm 2 when true, round-robin when false
+ * @param est Algorithm-1 parameters for the load estimates
+ */
+BatchComposition
+buildComposition(const std::vector<runtime::SequenceSample> &samples,
+                 int channels, bool min_load_packing,
+                 const runtime::MhaLatencyParams &est);
+
+/** Algorithm-1 parameter set matching a device/model combination. */
+runtime::MhaLatencyParams
+latencyParamsFor(const DeviceConfig &cfg, const model::LlmConfig &model,
+                 int tp);
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_BATCH_BUILDER_H_

@@ -1,0 +1,54 @@
+#include "core/gpu_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::core {
+
+GpuLayerTiming
+GpuModel::layerTiming(const model::LlmConfig &model, int tp, int batch,
+                      double avg_seq_len) const
+{
+    NEUPIMS_ASSERT(batch >= 1 && avg_seq_len >= 1.0);
+    const double peak = cfg_.peakTflops * 1e12 * cfg_.gemmEfficiency;
+    const double bw = cfg_.hbmGBps * 1e9;
+
+    GpuLayerTiming t;
+
+    // The four weight-activation GEMMs: roofline of compute vs weight
+    // streaming, plus a launch overhead each.
+    double gemm_flops =
+        2.0 * batch *
+        static_cast<double>(model.paramsPerLayer() / tp);
+    double gemm_bytes =
+        static_cast<double>(model.weightBytesPerLayer(tp));
+    t.gemmSeconds = std::max(gemm_flops / peak, gemm_bytes / bw) +
+                    4.0 * cfg_.kernelLaunchUs * 1e-6;
+
+    // Attention: bandwidth-bound KV sweep at GEMV efficiency; one
+    // fused kernel launch per head batch (modeled as two launches).
+    double kv_bytes = 2.0 * avg_seq_len *
+                      static_cast<double>(model.dModelPerDevice(tp)) *
+                      2.0 * batch;
+    t.mhaSeconds = kv_bytes / (bw * cfg_.gemvBwEfficiency) +
+                   2.0 * cfg_.kernelLaunchUs * 1e-6;
+
+    t.totalSeconds = t.gemmSeconds + t.mhaSeconds;
+    t.computeUtil = gemm_flops /
+                    (cfg_.peakTflops * 1e12 * t.totalSeconds);
+    t.bandwidthUtil = (gemm_bytes + kv_bytes) / (bw * t.totalSeconds);
+    return t;
+}
+
+double
+GpuModel::throughput(const model::LlmConfig &model, int tp, int pp,
+                     int batch, double avg_seq_len) const
+{
+    GpuLayerTiming t = layerTiming(model, tp, batch, avg_seq_len);
+    double iteration =
+        t.totalSeconds * model.layersPerDevice(pp);
+    return static_cast<double>(batch) / iteration;
+}
+
+} // namespace neupims::core

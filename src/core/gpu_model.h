@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic GPU baseline (paper's "GPU-only" system, §8.1).
+ *
+ * Substitution note (DESIGN.md): the paper measures a real A100 with
+ * PyTorch; we model it with a roofline over the same decoder-block
+ * operator stream — peak TFLOPS and HBM bandwidth of an A100-class
+ * part, GEMM/GEMV efficiency factors representative of cuBLAS-style
+ * kernels, and a per-operator launch overhead. The paper itself
+ * observes GPU-only and NPU-only differ only marginally, so this
+ * baseline anchors the ~3x headline ratio rather than contributing
+ * novel behaviour.
+ */
+
+#ifndef NEUPIMS_CORE_GPU_MODEL_H_
+#define NEUPIMS_CORE_GPU_MODEL_H_
+
+#include "model/compiler.h"
+#include "model/llm_config.h"
+
+namespace neupims::core {
+
+struct GpuConfig
+{
+    std::string name = "A100-40GB";
+    double peakTflops = 312.0;    ///< fp16 tensor-core peak
+    double hbmGBps = 1555.0;      ///< aggregate HBM bandwidth
+    Bytes memoryBytes = 40_GiB;
+    double gemmEfficiency = 0.60; ///< achieved fraction of peak
+    double gemvBwEfficiency = 0.30; ///< attention's achieved bandwidth
+    double kernelLaunchUs = 6.0;  ///< per-operator launch overhead
+};
+
+struct GpuLayerTiming
+{
+    double gemmSeconds = 0.0;
+    double mhaSeconds = 0.0;
+    double totalSeconds = 0.0;
+    double computeUtil = 0.0;
+    double bandwidthUtil = 0.0;
+};
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuConfig &cfg) : cfg_(cfg) {}
+
+    const GpuConfig &config() const { return cfg_; }
+
+    /**
+     * Time one generation-phase decoder layer for a batch with the
+     * given average context length, under tensor parallelism @p tp.
+     */
+    GpuLayerTiming layerTiming(const model::LlmConfig &model, int tp,
+                               int batch, double avg_seq_len) const;
+
+    /** Tokens per second for the full model on one device's share. */
+    double throughput(const model::LlmConfig &model, int tp, int pp,
+                      int batch, double avg_seq_len) const;
+
+  private:
+    GpuConfig cfg_;
+};
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_GPU_MODEL_H_

@@ -1,0 +1,83 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace neupims::core {
+
+TableWriter::TableWriter(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width)
+{
+    NEUPIMS_ASSERT(!columns_.empty());
+}
+
+void
+TableWriter::printHeader() const
+{
+    std::ostringstream oss;
+    for (const auto &c : columns_) {
+        oss.width(width_);
+        oss << c;
+    }
+    std::printf("%s\n", oss.str().c_str());
+    printRule();
+}
+
+void
+TableWriter::printRow(const std::vector<std::string> &cells) const
+{
+    std::ostringstream oss;
+    for (const auto &c : cells) {
+        oss.width(width_);
+        oss << c;
+    }
+    std::printf("%s\n", oss.str().c_str());
+}
+
+void
+TableWriter::printRule() const
+{
+    std::string rule(columns_.size() * static_cast<std::size_t>(width_),
+                     '-');
+    std::printf("%s\n", rule.c_str());
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableWriter::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+double
+kiloTokensPerSec(double tokens_per_sec)
+{
+    return tokens_per_sec / 1000.0;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    NEUPIMS_ASSERT(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values) {
+        NEUPIMS_ASSERT(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace neupims::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reporting helpers shared by the benches and examples: fixed-width
+ * table formatting and common derived metrics, so every bench prints
+ * rows the way the paper's tables and figures lay them out.
+ */
+
+#ifndef NEUPIMS_CORE_METRICS_H_
+#define NEUPIMS_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+
+namespace neupims::core {
+
+/** Minimal fixed-width table printer for bench output. */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> columns,
+                         int width = 14);
+
+    void printHeader() const;
+    void printRow(const std::vector<std::string> &cells) const;
+    void printRule() const;
+
+    static std::string num(double v, int precision = 2);
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> columns_;
+    int width_;
+};
+
+/** Tokens/s throughput in thousands, as Fig. 14 reports. */
+double kiloTokensPerSec(double tokens_per_sec);
+
+/** Geometric mean (used for "average speedup" style claims). */
+double geomean(const std::vector<double> &values);
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_METRICS_H_

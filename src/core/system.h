@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-device NeuPIMs system (paper §7, Fig. 14): composes the
+ * single-device executor under tensor and pipeline parallelism.
+ *
+ * Tensor parallelism shards every layer's weights and heads across tp
+ * devices and adds two all-reduces of the activation panel per layer;
+ * with sub-batch interleaving the all-reduce of one sub-batch overlaps
+ * the other sub-batch's compute (§7.2), so only the excess beyond the
+ * overlap window is exposed. Pipeline parallelism splits layers into
+ * pp stages and the batch into pp micro-batches; in the steady state
+ * the pipeline's token rate is one micro-batch per stage time, so
+ * smaller per-device batches — not communication — are what erode
+ * throughput (§7.1), which is why the paper prefers TP over PP.
+ */
+
+#ifndef NEUPIMS_CORE_SYSTEM_H_
+#define NEUPIMS_CORE_SYSTEM_H_
+
+#include <vector>
+
+#include "core/batch_builder.h"
+#include "core/executor.h"
+#include "model/llm_config.h"
+#include "runtime/workload.h"
+
+namespace neupims::core {
+
+struct ParallelismConfig
+{
+    int tp = 4;
+    int pp = 1;
+    /**
+     * Device-to-device interconnect (§4: "high-bandwidth interconnect
+     * such as PCIe and CXL"); 200 GB/s is CXL-3/NVLink-class and what
+     * makes tensor parallelism preferable to pipelining (Fig. 14).
+     */
+    double interconnectGBps = 200.0;
+
+    int devices() const { return tp * pp; }
+};
+
+struct SystemResult
+{
+    double tokensPerSec = 0.0;
+    int devices = 0;
+    int perDeviceBatch = 0;
+    Cycle commCyclesPerLayer = 0;
+    IterationResult device; ///< representative device measurement
+};
+
+class MultiDeviceSystem
+{
+  public:
+    MultiDeviceSystem(const DeviceConfig &device,
+                      const model::LlmConfig &model,
+                      const ParallelismConfig &par);
+
+    /**
+     * Throughput of the whole system on @p requests (they are split
+     * into pp micro-batches; the first micro-batch is simulated as
+     * representative).
+     */
+    SystemResult run(const std::vector<runtime::SequenceSample> &requests,
+                     int window_layers = 3, int warmup_layers = 1);
+
+    const ParallelismConfig &parallelism() const { return par_; }
+
+  private:
+    DeviceConfig device_;
+    model::LlmConfig model_;
+    ParallelismConfig par_;
+};
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_SYSTEM_H_

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical address mapping for the NeuPIMs HBM device.
+ *
+ * Linear addresses are page-interleaved across channels first (so a
+ * contiguous weight stream engages every channel), then across banks
+ * within a channel (so consecutive rows on a channel rotate banks and
+ * activations pipeline), matching the row-interleaved KV layout of
+ * §6.3 that the PIM GEMV tiles rely on.
+ */
+
+#ifndef NEUPIMS_DRAM_ADDRESS_H_
+#define NEUPIMS_DRAM_ADDRESS_H_
+
+#include "common/log.h"
+#include "common/types.h"
+#include "dram/timing.h"
+
+namespace neupims::dram {
+
+struct Location
+{
+    ChannelId channel = 0;
+    BankId bank = 0;
+    int row = 0;
+    int column = 0; ///< 64 B burst index within the row
+
+    bool
+    operator==(const Location &o) const
+    {
+        return channel == o.channel && bank == o.bank && row == o.row &&
+               column == o.column;
+    }
+};
+
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Organization &org) : org_(&org) {}
+
+    /** Decode a byte address into channel/bank/row/column. */
+    Location
+    decode(Bytes addr) const
+    {
+        const auto &o = *org_;
+        Bytes burst = addr / o.burstBytes;
+        Bytes bursts_per_row = o.pageBytes / o.burstBytes;
+        Bytes page = burst / bursts_per_row;
+        Location loc;
+        loc.column = static_cast<int>(burst % bursts_per_row);
+        loc.channel = static_cast<ChannelId>(page % o.channels);
+        Bytes chpage = page / o.channels;
+        loc.bank = static_cast<BankId>(chpage % o.banksPerChannel);
+        loc.row = static_cast<int>(chpage / o.banksPerChannel);
+        return loc;
+    }
+
+    /** Encode channel/bank/row/column back into a byte address. */
+    Bytes
+    encode(const Location &loc) const
+    {
+        const auto &o = *org_;
+        Bytes bursts_per_row = o.pageBytes / o.burstBytes;
+        Bytes chpage = static_cast<Bytes>(loc.row) * o.banksPerChannel +
+                       static_cast<Bytes>(loc.bank);
+        Bytes page = chpage * o.channels +
+                     static_cast<Bytes>(loc.channel);
+        Bytes burst = page * bursts_per_row +
+                      static_cast<Bytes>(loc.column);
+        return burst * o.burstBytes;
+    }
+
+    /** Number of rows per bank implied by the channel capacity. */
+    int
+    rowsPerBank() const
+    {
+        const auto &o = *org_;
+        return static_cast<int>(o.channelCapacity /
+                                (o.pageBytes * o.banksPerChannel));
+    }
+
+  private:
+    const Organization *org_;
+};
+
+} // namespace neupims::dram
+
+#endif // NEUPIMS_DRAM_ADDRESS_H_

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-bank DRAM state with dual row buffers (paper §5.1, Figure 8).
+ *
+ * A NeuPIMs bank carries two independent row buffers: the MEM row
+ * buffer serving regular read/write accesses and the PIM row buffer
+ * feeding the in-bank GEMV datapath. In baseline (single row buffer)
+ * mode the two aliases share one buffer, so a PIM activation evicts the
+ * open MEM row and vice versa — which is precisely the
+ * microarchitectural conflict that forces existing PIMs into "blocked"
+ * operation.
+ *
+ * Timing is tracked as next-allowed timestamps per command class (the
+ * same constraint algebra DRAMsim3 enforces); the bank never ticks.
+ */
+
+#ifndef NEUPIMS_DRAM_BANK_H_
+#define NEUPIMS_DRAM_BANK_H_
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "dram/timing.h"
+
+namespace neupims::dram {
+
+/** Which of the two row buffers a command targets. */
+enum class BufferSide { Mem, Pim };
+
+class Bank
+{
+  public:
+    explicit Bank(const TimingParams &t, bool dual_row_buffers)
+        : timing_(&t), dualRowBuffers_(dual_row_buffers)
+    {}
+
+    bool dualRowBuffers() const { return dualRowBuffers_; }
+
+    /** Currently open row on a side, or -1 if the buffer is closed. */
+    int
+    openRow(BufferSide side) const
+    {
+        return side == BufferSide::Mem ? memOpenRow_ : pimOpenRow_;
+    }
+
+    /** Earliest cycle an ACTIVATE for @p side may issue (bank-local). */
+    Cycle
+    earliestActivate(BufferSide side) const
+    {
+        // Row activations on either buffer contend for the shared cell
+        // array access circuitry: tRC is enforced across both sides.
+        // Precharge-readiness is tracked per side.
+        Cycle ready = std::max(nextActAny_, sideNextAct(side));
+        return ready;
+    }
+
+    /** Earliest cycle a column command (RD/WR/dot-product) may issue. */
+    Cycle
+    earliestColumn(BufferSide side) const
+    {
+        return side == BufferSide::Mem ? memNextColumn_ : pimNextColumn_;
+    }
+
+    /** Earliest cycle a PRECHARGE for @p side may issue. */
+    Cycle
+    earliestPrecharge(BufferSide side) const
+    {
+        return side == BufferSide::Mem ? memNextPre_ : pimNextPre_;
+    }
+
+    /**
+     * Apply an ACTIVATE issued at @p when opening @p row on @p side.
+     * @pre when >= earliestActivate(side)
+     */
+    void
+    activate(BufferSide side, int row, Cycle when)
+    {
+        const auto &t = *timing_;
+        if (!dualRowBuffers_) {
+            // Single buffer: activating for one side closes the other.
+            memOpenRow_ = -1;
+            pimOpenRow_ = -1;
+        }
+        if (side == BufferSide::Mem) {
+            memOpenRow_ = row;
+            memNextColumn_ = when + t.tRCD;
+            memNextPre_ = when + t.tRAS;
+        } else {
+            pimOpenRow_ = row;
+            pimNextColumn_ = when + t.tRCD;
+            pimNextPre_ = when + t.tRAS;
+        }
+        if (!dualRowBuffers_) {
+            // Aliased buffer: both sides observe the same open row and
+            // the same column/precharge readiness.
+            memOpenRow_ = pimOpenRow_ = row;
+            memNextColumn_ = pimNextColumn_ = when + t.tRCD;
+            memNextPre_ = pimNextPre_ = when + t.tRAS;
+        }
+        nextActAny_ = when + t.tRC();
+        sideNextAct(side) = when + t.tRC();
+    }
+
+    /** Apply a read issued at @p when. */
+    void
+    read(BufferSide side, Cycle when)
+    {
+        const auto &t = *timing_;
+        Cycle pre_ready = when + t.tRTP;
+        if (side == BufferSide::Mem || !dualRowBuffers_)
+            memNextPre_ = std::max(memNextPre_, pre_ready);
+        if (side == BufferSide::Pim || !dualRowBuffers_)
+            pimNextPre_ = std::max(pimNextPre_, pre_ready);
+    }
+
+    /** Apply a write issued at @p when. */
+    void
+    write(BufferSide side, Cycle when)
+    {
+        const auto &t = *timing_;
+        Cycle pre_ready = when + t.tCWL + t.tBL + t.tWR;
+        if (side == BufferSide::Mem || !dualRowBuffers_)
+            memNextPre_ = std::max(memNextPre_, pre_ready);
+        if (side == BufferSide::Pim || !dualRowBuffers_)
+            pimNextPre_ = std::max(pimNextPre_, pre_ready);
+    }
+
+    /** Apply a PRECHARGE issued at @p when closing @p side's buffer. */
+    void
+    precharge(BufferSide side, Cycle when)
+    {
+        const auto &t = *timing_;
+        if (side == BufferSide::Mem || !dualRowBuffers_) {
+            memOpenRow_ = -1;
+            sideNextAct(BufferSide::Mem) =
+                std::max(sideNextAct(BufferSide::Mem), when + t.tRP);
+        }
+        if (side == BufferSide::Pim || !dualRowBuffers_) {
+            pimOpenRow_ = -1;
+            sideNextAct(BufferSide::Pim) =
+                std::max(sideNextAct(BufferSide::Pim), when + t.tRP);
+        }
+    }
+
+    /** Apply an all-bank REFRESH issued at @p when. */
+    void
+    refresh(Cycle when)
+    {
+        const auto &t = *timing_;
+        memOpenRow_ = -1;
+        pimOpenRow_ = -1;
+        Cycle done = when + t.tRFC;
+        nextActAny_ = std::max(nextActAny_, done);
+        memNextAct_ = std::max(memNextAct_, done);
+        pimNextAct_ = std::max(pimNextAct_, done);
+        memNextColumn_ = std::max(memNextColumn_, done);
+        pimNextColumn_ = std::max(pimNextColumn_, done);
+    }
+
+  private:
+    Cycle &
+    sideNextAct(BufferSide side)
+    {
+        return side == BufferSide::Mem ? memNextAct_ : pimNextAct_;
+    }
+
+    Cycle
+    sideNextAct(BufferSide side) const
+    {
+        return side == BufferSide::Mem ? memNextAct_ : pimNextAct_;
+    }
+
+    const TimingParams *timing_;
+    bool dualRowBuffers_;
+
+    int memOpenRow_ = -1;
+    int pimOpenRow_ = -1;
+
+    Cycle nextActAny_ = 0;   ///< tRC across both buffers (shared array)
+    Cycle memNextAct_ = 0;
+    Cycle pimNextAct_ = 0;
+    Cycle memNextColumn_ = 0;
+    Cycle pimNextColumn_ = 0;
+    Cycle memNextPre_ = 0;
+    Cycle pimNextPre_ = 0;
+};
+
+} // namespace neupims::dram
+
+#endif // NEUPIMS_DRAM_BANK_H_

@@ -1,0 +1,478 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+
+namespace neupims::dram {
+
+namespace {
+
+/** Integer ceiling division. */
+constexpr int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+MemoryController::MemoryController(EventQueue &eq,
+                                   const TimingParams &timing,
+                                   const Organization &org,
+                                   ControllerConfig cfg)
+    : eq_(eq), cfg_(cfg), channel_(timing, org, cfg.dualRowBuffers)
+{
+    memInFlight_.reserve(cfg_.memIssueWindow);
+}
+
+void
+MemoryController::enqueueMem(MemJob job)
+{
+    NEUPIMS_ASSERT(job.bank >= 0 && job.bank < channel_.numBanks());
+    NEUPIMS_ASSERT(job.bursts >= 1 &&
+                   job.bursts <= channel_.organization().burstsPerRow());
+    memQueue_.push_back(std::move(job));
+    kick();
+}
+
+void
+MemoryController::enqueuePim(PimJob job)
+{
+    NEUPIMS_ASSERT(job.rowTiles >= 1);
+    NEUPIMS_ASSERT(job.banksUsed >= 1 &&
+                   job.banksUsed <= channel_.numBanks());
+    pimQueue_.push_back(std::move(job));
+    kick();
+}
+
+bool
+MemoryController::idle() const
+{
+    return memQueue_.empty() && pimQueue_.empty() &&
+           memInFlight_.empty() && !pim_;
+}
+
+std::size_t
+MemoryController::pendingMemJobs() const
+{
+    return memQueue_.size() + memInFlight_.size();
+}
+
+std::size_t
+MemoryController::pendingPimJobs() const
+{
+    return pimQueue_.size() + (pim_ ? 1 : 0);
+}
+
+void
+MemoryController::kick()
+{
+    Cycle now = eq_.now();
+    if (kickScheduled_ && nextKickAt_ <= now)
+        return;
+    kickScheduled_ = true;
+    nextKickAt_ = now;
+    eq_.schedule(now, [this] {
+        kickScheduled_ = false;
+        nextKickAt_ = kCycleMax;
+        process();
+    });
+}
+
+void
+MemoryController::refillMemWindow()
+{
+    // Blocked-mode PIM (baseline single-row-buffer devices) stalls all
+    // regular memory traffic while a PIM kernel is queued or running.
+    if (cfg_.blockedMode && (pim_ || !pimQueue_.empty()))
+        return;
+    while (static_cast<int>(memInFlight_.size()) < cfg_.memIssueWindow &&
+           !memQueue_.empty()) {
+        // Keep at most one in-flight job per bank so an incoming job
+        // cannot precharge a row a sibling is still bursting on.
+        BankId bank = memQueue_.front().bank;
+        bool conflict = false;
+        for (const auto &m : memInFlight_) {
+            if (m.job.bank == bank) {
+                conflict = true;
+                break;
+            }
+        }
+        if (conflict)
+            break;
+        MemExec exec;
+        exec.job = std::move(memQueue_.front());
+        memQueue_.pop_front();
+        exec.enqueued = eq_.now();
+        memInFlight_.push_back(std::move(exec));
+    }
+}
+
+void
+MemoryController::startNextPimKernel()
+{
+    if (pim_ || pimQueue_.empty())
+        return;
+    // Blocked mode drains in-flight memory accesses before switching
+    // the channel into PIM operation.
+    if (cfg_.blockedMode && !memInFlight_.empty())
+        return;
+    pim_ = std::make_unique<PimExec>();
+    pim_->job = std::move(pimQueue_.front());
+    pimQueue_.pop_front();
+    pim_->phase = pim_->job.header ? PimExec::Phase::Header
+                                   : PimExec::Phase::Gwrite;
+    if (pim_->job.gwrites == 0 && pim_->phase == PimExec::Phase::Gwrite)
+        pim_->phase = PimExec::Phase::Group;
+    pim_->rounds = ceilDiv(pim_->job.rowTiles, pim_->job.banksUsed);
+    pim_->banksThisRound = std::min(pim_->job.rowTiles,
+                                    pim_->job.banksUsed);
+    pim_->groupsPerRound = ceilDiv(pim_->banksThisRound, 4);
+    pim_->groupRowReady.assign(pim_->groupsPerRound, 0);
+}
+
+Cycle
+MemoryController::candidateMem(int &which) const
+{
+    which = -1;
+    if (cfg_.blockedMode && pim_)
+        return kCycleMax;
+    Cycle best = kCycleMax;
+    for (int i = 0; i < static_cast<int>(memInFlight_.size()); ++i) {
+        const auto &m = memInFlight_[i];
+        const Bank &bank = channel_.bank(m.job.bank);
+        Cycle lb = std::max(m.enqueued, eq_.now());
+        Cycle c;
+        if (m.phase == MemExec::Phase::PreOrAct) {
+            int open = bank.openRow(BufferSide::Mem);
+            if (open == m.job.row) {
+                c = channel_.earliestColumn(m.job.bank, BufferSide::Mem,
+                                            m.job.write, lb);
+            } else if (open != -1) {
+                c = std::max(lb, bank.earliestPrecharge(BufferSide::Mem));
+                c = channel_.earliestCa(c, 1);
+            } else {
+                c = channel_.earliestActivate(m.job.bank, BufferSide::Mem,
+                                              lb);
+            }
+        } else {
+            c = channel_.earliestColumn(m.job.bank, BufferSide::Mem,
+                                        m.job.write, lb);
+        }
+        if (c < best) {
+            best = c;
+            which = i;
+        }
+    }
+    return best;
+}
+
+Cycle
+MemoryController::candidatePim() const
+{
+    if (!pim_)
+        return kCycleMax;
+    const auto &p = *pim_;
+    const auto &t = channel_.timing();
+    Cycle lb = eq_.now();
+    switch (p.phase) {
+      case PimExec::Phase::Header:
+        return channel_.earliestCa(lb, t.caPimCmd);
+      case PimExec::Phase::Gwrite:
+        return channel_.earliestCa(std::max(lb, p.gwriteReady),
+                                   t.caPimCmd);
+      case PimExec::Phase::Group: {
+        // The operand vector must be staged before any dot-products.
+        Cycle ready = std::max(lb, p.gwriteReady);
+        bool needs_ca = !p.job.composite || p.group == 0;
+        Cycle c = channel_.earliestPimActivateGroup(
+            p.group * 4, std::min(4, p.banksThisRound - p.group * 4),
+            ready, needs_ca);
+        if (!p.job.header) {
+            // Without PIM_HEADER the controller cannot bound the
+            // kernel's latency, so it conservatively refuses to start
+            // a round inside the guard window before a refresh (§5.2).
+            Cycle due = channel_.nextRefreshDue();
+            if (c + t.refreshGuard > due)
+                c = std::max(c, due);
+        }
+        return c;
+      }
+      case PimExec::Phase::DotProduct:
+        return channel_.earliestCa(
+            std::max(lb, p.groupRowReady[p.dotProductsDone / 4]),
+            t.caPimCmd);
+      case PimExec::Phase::RoundResult:
+        return channel_.earliestCa(std::max(lb, p.roundComputeEnd),
+                                   t.caPimCmd);
+      case PimExec::Phase::FinalResult:
+        return std::max(lb, p.kernelComputeEnd);
+      case PimExec::Phase::Precharge:
+        return channel_.earliestCa(
+            std::max({lb, p.kernelComputeEnd, p.resultEnd}), t.caPimCmd);
+      case PimExec::Phase::Done:
+        return kCycleMax;
+    }
+    return kCycleMax;
+}
+
+void
+MemoryController::stepMem(int which)
+{
+    auto &m = memInFlight_[which];
+    Bank &bank = channel_.bank(m.job.bank);
+    Cycle lb = std::max(m.enqueued, eq_.now());
+
+    if (m.phase == MemExec::Phase::PreOrAct) {
+        int open = bank.openRow(BufferSide::Mem);
+        if (open == m.job.row) {
+            m.phase = MemExec::Phase::Bursts; // row hit, fall through
+        } else if (open != -1) {
+            channel_.issuePrecharge(m.job.bank, BufferSide::Mem, lb);
+            return;
+        } else {
+            channel_.issueActivate(m.job.bank, BufferSide::Mem,
+                                   m.job.row, lb);
+            m.phase = MemExec::Phase::Bursts;
+            return;
+        }
+    }
+
+    auto [cmd, data_end] =
+        m.job.write ? channel_.issueWrite(m.job.bank, BufferSide::Mem, lb)
+                    : channel_.issueRead(m.job.bank, BufferSide::Mem, lb);
+    (void)cmd;
+    m.lastBurstEnd = data_end;
+    if (++m.burstsDone == m.job.bursts) {
+        finishMem(m);
+        memInFlight_.erase(memInFlight_.begin() + which);
+    }
+}
+
+void
+MemoryController::finishMem(MemExec &exec)
+{
+    ++completedMemJobs_;
+    memQueueDelay_.sample(
+        static_cast<double>(exec.lastBurstEnd - exec.enqueued));
+    // Callback contract: invoked as soon as the completion cycle is
+    // *known* (commands are committed ahead of simulated time up to
+    // the horizon); the Cycle argument is the authoritative completion
+    // time and callers schedule their continuations at it.
+    if (exec.job.onComplete)
+        exec.job.onComplete(exec.lastBurstEnd);
+}
+
+void
+MemoryController::stepPim()
+{
+    auto &p = *pim_;
+    const auto &t = channel_.timing();
+    Cycle lb = eq_.now();
+
+    switch (p.phase) {
+      case PimExec::Phase::Header: {
+        channel_.issuePimCaCommand(CommandType::PimHeader, lb);
+        p.phase = p.job.gwrites > 0 ? PimExec::Phase::Gwrite
+                                    : PimExec::Phase::Group;
+        return;
+      }
+      case PimExec::Phase::Gwrite: {
+        Cycle when = channel_.issuePimCaCommand(
+            CommandType::PimGwrite, std::max(lb, p.gwriteReady));
+        p.gwriteReady = when + t.tGWRITE;
+        if (++p.gwritesDone == p.job.gwrites)
+            p.phase = PimExec::Phase::Group;
+        return;
+      }
+      case PimExec::Phase::Group: {
+        Cycle ready = std::max(lb, p.gwriteReady);
+        if (!p.job.header) {
+            Cycle due = channel_.nextRefreshDue();
+            Cycle est = channel_.earliestPimActivateGroup(
+                p.group * 4,
+                std::min(4, p.banksThisRound - p.group * 4), ready,
+                !p.job.composite || p.group == 0);
+            if (est + t.refreshGuard > due)
+                ready = std::max(ready, due);
+        }
+        if (p.job.composite && p.group == 0) {
+            // One composite PIM_GEMV command drives the whole round:
+            // activation waves and dot-products are sequenced
+            // internally and occupy no further C/A slots (Fig. 9b).
+            ready = channel_.issuePimCaCommand(CommandType::PimGemv,
+                                               ready);
+        }
+        int first = p.group * 4;
+        int nbanks = std::min(4, p.banksThisRound - first);
+        Cycle act = channel_.issuePimActivateGroup(
+            first, nbanks, /*row=*/p.round, ready,
+            /*charge_ca=*/!p.job.composite);
+        Cycle row_ready = act + t.tRCD;
+        p.groupRowReady[p.group] = row_ready;
+        if (p.job.composite) {
+            // Composite mode: compute is triggered internally as soon
+            // as the row is ready.
+            Cycle end = row_ready + t.pimComputePerRow;
+            pimBankBusyCycles_.add(
+                static_cast<double>(nbanks) *
+                static_cast<double>(t.pimComputePerRow));
+            channel_.recordPimCompute(row_ready, end);
+            p.roundComputeEnd = std::max(p.roundComputeEnd, end);
+            p.kernelComputeEnd = std::max(p.kernelComputeEnd, end);
+        }
+        if (++p.group == p.groupsPerRound) {
+            if (p.job.composite) {
+                p.rowsIssued += p.banksThisRound;
+                advanceRound();
+            } else {
+                p.phase = PimExec::Phase::DotProduct;
+                p.dotProductsDone = 0;
+            }
+        }
+        return;
+      }
+      case PimExec::Phase::DotProduct: {
+        // Fine-grained baseline: every bank's dot-product needs its
+        // own command on the C/A bus (Fig. 9a).
+        Cycle row_ready = p.groupRowReady[p.dotProductsDone / 4];
+        Cycle when = channel_.issuePimCaCommand(
+            CommandType::PimDotProduct, std::max(lb, row_ready));
+        Cycle start = std::max(when + 1, row_ready);
+        Cycle end = start + t.pimComputePerRow;
+        pimBankBusyCycles_.add(static_cast<double>(t.pimComputePerRow));
+        channel_.recordPimCompute(start, end);
+        p.roundComputeEnd = std::max(p.roundComputeEnd, end);
+        p.kernelComputeEnd = std::max(p.kernelComputeEnd, end);
+        if (++p.dotProductsDone == p.banksThisRound)
+            p.phase = PimExec::Phase::RoundResult;
+        return;
+      }
+      case PimExec::Phase::RoundResult: {
+        Cycle when = channel_.issuePimCaCommand(
+            CommandType::PimRdResult, std::max(lb, p.roundComputeEnd));
+        int bursts = std::max(
+            1, ceilDiv(p.banksThisRound * 4,
+                       static_cast<int>(
+                           channel_.organization().burstBytes)));
+        auto [ds, de] = channel_.reserveDataBus(when + t.tCL, bursts);
+        (void)ds;
+        p.resultEnd = std::max(p.resultEnd, de);
+        p.rowsIssued += p.banksThisRound;
+        advanceRound();
+        return;
+      }
+      case PimExec::Phase::FinalResult: {
+        auto [ds, de] = channel_.reserveDataBus(
+            std::max(lb, p.kernelComputeEnd),
+            std::max(1, p.job.resultBursts));
+        (void)ds;
+        p.resultEnd = std::max(p.resultEnd, de);
+        p.phase = PimExec::Phase::Precharge;
+        return;
+      }
+      case PimExec::Phase::Precharge: {
+        Cycle when = channel_.issuePimCaCommand(
+            CommandType::PimPrecharge,
+            std::max({lb, p.kernelComputeEnd, p.resultEnd}));
+        for (int b = 0; b < p.job.banksUsed; ++b) {
+            Bank &bank = channel_.bank(b);
+            Cycle w = std::max(
+                when, bank.earliestPrecharge(BufferSide::Pim));
+            bank.precharge(BufferSide::Pim, w);
+        }
+        p.phase = PimExec::Phase::Done;
+        finishPim(std::max(p.resultEnd, p.kernelComputeEnd));
+        return;
+      }
+      case PimExec::Phase::Done:
+        return;
+    }
+}
+
+void
+MemoryController::advanceRound()
+{
+    auto &p = *pim_;
+    if (++p.round < p.rounds) {
+        p.banksThisRound = std::min(p.job.rowTiles - p.rowsIssued,
+                                    p.job.banksUsed);
+        p.groupsPerRound = ceilDiv(p.banksThisRound, 4);
+        p.groupRowReady.assign(p.groupsPerRound, 0);
+        p.group = 0;
+        p.phase = PimExec::Phase::Group;
+    } else {
+        p.phase = p.job.composite ? PimExec::Phase::FinalResult
+                                  : PimExec::Phase::Precharge;
+    }
+}
+
+void
+MemoryController::finishPim(Cycle done)
+{
+    ++completedPimJobs_;
+    auto job = std::move(pim_->job);
+    pim_.reset();
+    // Same synchronous-callback contract as finishMem.
+    if (job.onComplete)
+        job.onComplete(done);
+}
+
+bool
+MemoryController::maybeRefresh(Cycle when)
+{
+    if (channel_.nextRefreshDue() > when)
+        return false;
+    // An announced (PIM_HEADER'd) kernel lets the controller postpone
+    // the refresh — up to the JEDEC budget — instead of splitting the
+    // kernel (§5.2).
+    if (pim_ && pim_->job.header && pim_->phase != PimExec::Phase::Done) {
+        if (channel_.postponeRefresh())
+            return false;
+    }
+    channel_.issueRefresh(std::max(channel_.nextRefreshDue(), eq_.now()));
+    return true;
+}
+
+void
+MemoryController::process()
+{
+    while (true) {
+        refillMemWindow();
+        startNextPimKernel();
+
+        int mem_idx = -1;
+        Cycle cm = candidateMem(mem_idx);
+        Cycle cp = candidatePim();
+        Cycle cand = std::min(cm, cp);
+        if (cand == kCycleMax)
+            return; // idle: nothing queued or in flight
+
+        if (maybeRefresh(cand))
+            continue; // constraints changed; recompute candidates
+
+        if (cand > eq_.now() + cfg_.horizon) {
+            // Do not reserve bus slots far beyond simulated time: a
+            // job arriving meanwhile deserves its priority. Resume
+            // when the candidate enters the horizon.
+            Cycle resume = cand - cfg_.horizon;
+            if (!kickScheduled_ || nextKickAt_ > resume) {
+                kickScheduled_ = true;
+                nextKickAt_ = resume;
+                eq_.schedule(resume, [this] {
+                    kickScheduled_ = false;
+                    nextKickAt_ = kCycleMax;
+                    process();
+                });
+            }
+            return;
+        }
+
+        // PIM commands take priority on ties (§5.3).
+        if (cp <= cm)
+            stepPim();
+        else
+            stepMem(mem_idx);
+    }
+}
+
+} // namespace neupims::dram

@@ -1,0 +1,90 @@
+#include "dram/hbm.h"
+
+namespace neupims::dram {
+
+HbmStack::HbmStack(EventQueue &eq, const MemConfig &cfg)
+    : eq_(eq), cfg_(cfg)
+{
+    ctrls_.reserve(cfg.org.channels);
+    for (int c = 0; c < cfg.org.channels; ++c) {
+        ctrls_.push_back(std::make_unique<MemoryController>(
+            eq_, cfg_.timing, cfg_.org, cfg_.ctrl));
+    }
+}
+
+bool
+HbmStack::idle() const
+{
+    for (const auto &c : ctrls_) {
+        if (!c->idle())
+            return false;
+    }
+    return true;
+}
+
+Bytes
+HbmStack::totalDataBusBytes() const
+{
+    Bytes total = 0;
+    for (const auto &c : ctrls_)
+        total += c->channel().dataBusBytes();
+    return total;
+}
+
+CommandCounts
+HbmStack::totalCommandCounts() const
+{
+    CommandCounts total;
+    for (const auto &c : ctrls_) {
+        const auto &counts = c->channel().commandCounts();
+        for (int i = 0; i < kNumCommandTypes; ++i)
+            total.counts[i] += counts.counts[i];
+    }
+    return total;
+}
+
+Cycle
+HbmStack::totalPimBankBusyCycles() const
+{
+    double total = 0.0;
+    for (const auto &c : ctrls_)
+        total += c->pimBankBusyCycles().value();
+    return static_cast<Cycle>(total);
+}
+
+double
+HbmStack::dataBusUtilization(Cycle window_start, Cycle window_end)
+{
+    double sum = 0.0;
+    for (auto &c : ctrls_)
+        sum += c->channel().dataBusUtil().utilization(window_start,
+                                                      window_end);
+    return sum / static_cast<double>(ctrls_.size());
+}
+
+double
+HbmStack::pimUtilization(Cycle window_start, Cycle window_end) const
+{
+    if (window_end <= window_start)
+        return 0.0;
+    double busy = static_cast<double>(totalPimBankBusyCycles());
+    double capacity =
+        static_cast<double>(window_end - window_start) *
+        pimCapacityBanks();
+    return busy / capacity;
+}
+
+ChannelActivity
+HbmStack::channelActivity(ChannelId ch, Cycle window) const
+{
+    const auto &ctrl = *ctrls_.at(ch);
+    ChannelActivity a;
+    a.windowCycles = window;
+    a.counts = ctrl.channel().commandCounts();
+    a.pimBankBusyCycles =
+        static_cast<Cycle>(ctrl.pimBankBusyCycles().value());
+    a.dualRowBuffers = ctrl.config().dualRowBuffers;
+    return a;
+}
+
+} // namespace neupims::dram

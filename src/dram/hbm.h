@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The full HBM-PIM memory of one NeuPIMs device: 32 channels, each
+ * with its own memory controller (Table 2), plus aggregate statistics
+ * used by the metrics and power layers.
+ */
+
+#ifndef NEUPIMS_DRAM_HBM_H_
+#define NEUPIMS_DRAM_HBM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/types.h"
+#include "dram/controller.h"
+#include "dram/power_model.h"
+
+namespace neupims::dram {
+
+struct MemConfig
+{
+    TimingParams timing;
+    Organization org;
+    ControllerConfig ctrl;
+};
+
+class HbmStack
+{
+  public:
+    HbmStack(EventQueue &eq, const MemConfig &cfg);
+
+    int numChannels() const { return static_cast<int>(ctrls_.size()); }
+    MemoryController &controller(ChannelId ch) { return *ctrls_.at(ch); }
+    const MemoryController &controller(ChannelId ch) const
+    {
+        return *ctrls_.at(ch);
+    }
+    const MemConfig &config() const { return cfg_; }
+
+    /** True when every channel is idle. */
+    bool idle() const;
+
+    // --- aggregate statistics -------------------------------------------
+
+    /** Total bytes moved on all channel data buses. */
+    Bytes totalDataBusBytes() const;
+
+    /** Sum of per-channel command counts. */
+    CommandCounts totalCommandCounts() const;
+
+    /** Sum over channels and banks of PIM compute cycles. */
+    Cycle totalPimBankBusyCycles() const;
+
+    /** Mean data-bus utilization across channels over a window. */
+    double dataBusUtilization(Cycle window_start, Cycle window_end);
+
+    /**
+     * Mean PIM compute utilization over a window: busy bank-cycles
+     * against the *sustainable* compute capacity — the power envelope
+     * allows only pimParallelBanks banks per channel to run their
+     * datapaths concurrently (TimingParams), so that is the capacity
+     * the utilization is measured against.
+     */
+    double pimUtilization(Cycle window_start, Cycle window_end) const;
+
+    /** Sustainable concurrent PIM banks across the device. */
+    double
+    pimCapacityBanks() const
+    {
+        return static_cast<double>(cfg_.org.channels) *
+               static_cast<double>(cfg_.timing.pimParallelBanks);
+    }
+
+    /** Build the power-model activity summary for channel @p ch. */
+    ChannelActivity channelActivity(ChannelId ch, Cycle window) const;
+
+  private:
+    EventQueue &eq_;
+    MemConfig cfg_;
+    std::vector<std::unique_ptr<MemoryController>> ctrls_;
+};
+
+} // namespace neupims::dram
+
+#endif // NEUPIMS_DRAM_HBM_H_

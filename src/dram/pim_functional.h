@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Functional (numeric) model of the Newton-style in-bank GEMV datapath.
+ *
+ * The timing simulator tracks only command schedules; this companion
+ * model computes the actual arithmetic the PIM banks perform — matrix
+ * rows interleaved round-robin across banks, the operand vector
+ * broadcast from the per-channel global vector buffer, per-bank
+ * multiplier arrays feeding an adder tree, fp32 accumulation across
+ * row segments — so tests can assert the decomposition is exact
+ * against a reference GEMV.
+ */
+
+#ifndef NEUPIMS_DRAM_PIM_FUNCTIONAL_H_
+#define NEUPIMS_DRAM_PIM_FUNCTIONAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace neupims::dram {
+
+class PimGemvFunctional
+{
+  public:
+    /**
+     * @param banks number of banks the matrix is interleaved across
+     * @param elems_per_row matrix elements held per DRAM row segment
+     * @param macs_per_cycle width of the per-bank multiplier array
+     */
+    PimGemvFunctional(int banks, int elems_per_row, int macs_per_cycle);
+
+    /**
+     * Compute y = M x where M is (rows x cols) row-major.
+     * Emulates the bank interleaving and segment-wise accumulation.
+     */
+    std::vector<float> gemv(const std::vector<float> &matrix,
+                            std::size_t rows, std::size_t cols,
+                            const std::vector<float> &x) const;
+
+    /** Straightforward reference GEMV for comparison in tests. */
+    static std::vector<float> reference(const std::vector<float> &matrix,
+                                        std::size_t rows,
+                                        std::size_t cols,
+                                        const std::vector<float> &x);
+
+    /** Number of bank-row tiles a (rows x cols) GEMV occupies. */
+    std::size_t rowTiles(std::size_t rows, std::size_t cols) const;
+
+    int banks() const { return banks_; }
+    int elemsPerRow() const { return elemsPerRow_; }
+
+  private:
+    int banks_;
+    int elemsPerRow_;
+    int macsPerCycle_;
+};
+
+} // namespace neupims::dram
+
+#endif // NEUPIMS_DRAM_PIM_FUNCTIONAL_H_

@@ -1,0 +1,62 @@
+#include "dram/power_model.h"
+
+namespace neupims::dram {
+
+double
+PowerModel::energyPj(const ChannelActivity &a) const
+{
+    const auto &p = params_;
+    const auto &c = a.counts;
+
+    double activations =
+        static_cast<double>(c.count(CommandType::Act)) +
+        static_cast<double>(c.count(CommandType::PimActivate)) * 4.0;
+    // Composite PIM_GEMV commands drive activation waves internally;
+    // their activations are charged via pimBankBusyCycles rows below.
+    double e = activations * p.actPrePj;
+    e += static_cast<double>(c.count(CommandType::Rd)) * p.readBurstPj;
+    e += static_cast<double>(c.count(CommandType::Wr)) * p.writeBurstPj;
+    e += static_cast<double>(c.count(CommandType::Ref)) * p.refreshPj;
+    e += static_cast<double>(c.count(CommandType::PimGwrite)) *
+         p.gwritePj;
+    e += static_cast<double>(c.count(CommandType::PimRdResult) +
+                             c.count(CommandType::PimGemv)) *
+         p.readBurstPj; // result readback bursts
+
+    // PIM compute: 4x read power for every bank-cycle the adder trees
+    // run. Read power per cycle is one burst energy over tBL cycles.
+    double read_power_pj_per_cycle =
+        p.readBurstPj / static_cast<double>(timing_.tBL);
+    e += static_cast<double>(a.pimBankBusyCycles) *
+         read_power_pj_per_cycle * p.pimComputeFactor /
+         p.pimArrayEnergyDivisor;
+
+    // Implicit activations of composite rounds: one row activation per
+    // pimComputePerRow cycles of bank busy time.
+    double implicit_rows =
+        static_cast<double>(a.pimBankBusyCycles) /
+        static_cast<double>(timing_.pimComputePerRow);
+    double explicit_pim_rows =
+        static_cast<double>(c.count(CommandType::PimActivate)) * 4.0;
+    double composite_rows = implicit_rows - explicit_pim_rows;
+    if (composite_rows > 0)
+        e += composite_rows * p.actPrePj;
+
+    return e;
+}
+
+double
+PowerModel::averagePowerMw(const ChannelActivity &a) const
+{
+    if (a.windowCycles == 0)
+        return 0.0;
+    double background = params_.backgroundMw;
+    if (a.dualRowBuffers)
+        background += params_.dualBufferBackgroundMw;
+    // pJ / ns == mW.
+    double dynamic =
+        energyPj(a) / static_cast<double>(a.windowCycles);
+    return background + dynamic;
+}
+
+} // namespace neupims::dram

@@ -1,0 +1,162 @@
+#include "model/compiler.h"
+
+#include "common/log.h"
+
+namespace neupims::model {
+
+namespace {
+
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+Flops
+LayerPlan::gemmFlops() const
+{
+    Flops total = 0.0;
+    for (const auto &g : gemms)
+        total += g.flops();
+    return total;
+}
+
+Bytes
+LayerPlan::gemmWeightBytes() const
+{
+    Bytes total = 0;
+    for (const auto &g : gemms)
+        total += g.weightBytes();
+    return total;
+}
+
+Compiler::Compiler(const LlmConfig &cfg, int tp, const MemShape &mem)
+    : cfg_(cfg), tp_(tp), mem_(mem)
+{
+    NEUPIMS_ASSERT(tp_ >= 1);
+    NEUPIMS_ASSERT(cfg_.numHeads % tp_ == 0,
+                   "tensor parallelism must divide heads: ", cfg_.name,
+                   " tp=", tp_);
+    NEUPIMS_ASSERT(mem_.channels >= 1 && mem_.pageBytes >= 64);
+}
+
+int
+Compiler::logitRowTiles(int seq_len) const
+{
+    // K cache of one request on its channel: seq_len rows of d_dev
+    // fp16 elements, row-interleaved across the banks; one bank-row
+    // tile covers pageBytes of it. Matches Algorithm 1 line 2:
+    // (seq/B_chnl) * (E/P_DRAM) tiles distributed over B_chnl banks.
+    Bytes bytes = static_cast<Bytes>(seq_len) *
+                  static_cast<Bytes>(cfg_.dModelPerDevice(tp_)) * 2;
+    return static_cast<int>(ceilDiv(static_cast<std::int64_t>(bytes),
+                                    static_cast<std::int64_t>(
+                                        mem_.pageBytes)));
+}
+
+int
+Compiler::attendRowTiles(int seq_len) const
+{
+    // V cache is the same byte volume, head-interleaved (Alg. 1 l.5).
+    return logitRowTiles(seq_len);
+}
+
+LayerPlan
+Compiler::compileLayer(
+    const std::vector<std::vector<int>> &seq_lens_per_channel) const
+{
+    NEUPIMS_ASSERT(static_cast<int>(seq_lens_per_channel.size()) <=
+                   mem_.channels);
+
+    LayerPlan plan;
+    int channels = mem_.channels;
+    plan.mha.requests.resize(channels);
+    plan.mha.logit.resize(channels);
+    plan.mha.attend.resize(channels);
+    plan.mha.kvAppendBytes.assign(channels, 0);
+    plan.mha.headsPerDevice =
+        static_cast<int>(cfg_.headsPerDevice(tp_));
+
+    const std::int64_t d = cfg_.dModel;
+    const std::int64_t d_dev = cfg_.dModelPerDevice(tp_);
+    const std::int64_t heads_dev = cfg_.headsPerDevice(tp_);
+    const Bytes page = mem_.pageBytes;
+    const Bytes burst = mem_.burstBytes;
+
+    int batch = 0;
+    for (ChannelId ch = 0;
+         ch < static_cast<ChannelId>(seq_lens_per_channel.size());
+         ++ch) {
+        auto &logit = plan.mha.logit[ch];
+        auto &attend = plan.mha.attend[ch];
+        for (int seq : seq_lens_per_channel[ch]) {
+            NEUPIMS_ASSERT(seq >= 1, "sequence length must be >= 1");
+            ++batch;
+            PimRequestWork req;
+            req.seqLen = seq;
+
+            req.logit.rowTiles = logitRowTiles(seq);
+            // Query vector: d_dev fp16 elements staged in the global
+            // vector buffer page by page (Alg. 1 line 3).
+            req.logit.gwrites =
+                static_cast<int>(ceilDiv(d_dev * 2, page));
+            // Logit results: seq values per device-resident head.
+            Bytes logit_bytes = static_cast<Bytes>(seq) *
+                                static_cast<Bytes>(heads_dev) * 2;
+            req.logit.resultBursts = static_cast<int>(
+                ceilDiv(static_cast<std::int64_t>(logit_bytes),
+                        static_cast<std::int64_t>(burst)));
+            req.softmaxElems = static_cast<std::uint64_t>(seq) *
+                               static_cast<std::uint64_t>(heads_dev);
+
+            req.attend.rowTiles = attendRowTiles(seq);
+            // Softmaxed logits staged per head (Alg. 1 line 6).
+            req.attend.gwrites = static_cast<int>(
+                ceilDiv(static_cast<std::int64_t>(logit_bytes),
+                        static_cast<std::int64_t>(page)));
+            // Attend results: one d_dev-wide context vector.
+            req.attend.resultBursts =
+                static_cast<int>(ceilDiv(d_dev * 2, burst));
+
+            plan.mha.kvReadBytes += 2 * static_cast<Bytes>(seq) *
+                                    static_cast<Bytes>(d_dev) * 2;
+
+            logit.rowTiles += req.logit.rowTiles;
+            logit.gwrites += req.logit.gwrites;
+            logit.resultBursts += req.logit.resultBursts;
+            logit.softmaxElems += req.softmaxElems;
+            attend.rowTiles += req.attend.rowTiles;
+            attend.gwrites += req.attend.gwrites;
+            attend.resultBursts += req.attend.resultBursts;
+
+            plan.mha.requests[ch].push_back(req);
+        }
+        // Each request appends one K and one V vector per layer.
+        plan.mha.kvAppendBytes[ch] =
+            static_cast<Bytes>(seq_lens_per_channel[ch].size()) *
+            cfg_.kvBytesPerTokenPerLayer(tp_);
+        plan.mha.totalSoftmaxElems += logit.softmaxElems;
+    }
+
+    NEUPIMS_ASSERT(batch >= 1, "empty batch");
+    plan.batch = batch;
+
+    auto add_gemm = [&plan](std::string label, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+        plan.gemms.push_back(GemmWork{std::move(label),
+                                      npu::GemmShape{m, k, n}});
+    };
+    add_gemm("qkv_generation", batch, d, 3 * d_dev);
+    add_gemm("projection", batch, d_dev, d);
+    add_gemm("ffn_up", batch, d, cfg_.ffnDim() / tp_);
+    add_gemm("ffn_down", batch, cfg_.ffnDim() / tp_, d);
+
+    // Two layer norms, two residual adds over [batch, d] activations.
+    plan.vectorElems = static_cast<std::uint64_t>(batch) *
+                       static_cast<std::uint64_t>(d) * 4;
+    return plan;
+}
+
+} // namespace neupims::model

@@ -1,0 +1,87 @@
+#include "model/decoder_block.h"
+
+#include "common/log.h"
+
+namespace neupims::model {
+
+std::vector<OpDesc>
+buildDecoderOps(const LlmConfig &cfg, int tp, int batch, Phase phase,
+                std::int64_t seq_len)
+{
+    NEUPIMS_ASSERT(tp >= 1 && cfg.numHeads % tp == 0,
+                   "heads must divide tp");
+    NEUPIMS_ASSERT(batch >= 1 && seq_len >= 1);
+
+    const std::int64_t d = cfg.dModel;
+    const std::int64_t d_dev = cfg.dModelPerDevice(tp);
+    const std::int64_t heads_dev = cfg.headsPerDevice(tp);
+    // Rows fed to the batched GEMMs: every request contributes one
+    // token per generation iteration, or the whole prompt during
+    // summarization.
+    const std::int64_t gemm_rows =
+        phase == Phase::Summarization
+            ? static_cast<std::int64_t>(batch) * seq_len
+            : static_cast<std::int64_t>(batch);
+
+    std::vector<OpDesc> ops;
+    auto add = [&ops](OpDesc op) { ops.push_back(op); };
+
+    add({OpKind::LayerNorm, 0, 0, 0,
+         static_cast<std::uint64_t>(gemm_rows * d), false});
+    add({OpKind::QkvGeneration, gemm_rows, d, 3 * d_dev, 0, false});
+
+    if (phase == Phase::Summarization) {
+        // Prompt attention batches too: logits are [seq x seq] per
+        // head, computed as GEMMs against the fresh K/V.
+        add({OpKind::Logit, seq_len * heads_dev, cfg.headDim(), seq_len,
+             0, true});
+        add({OpKind::Softmax, 0, 0, 0,
+             static_cast<std::uint64_t>(batch) *
+                 static_cast<std::uint64_t>(heads_dev * seq_len *
+                                            seq_len),
+             false});
+        add({OpKind::Attend, seq_len * heads_dev, seq_len, cfg.headDim(),
+             0, true});
+    } else {
+        // Generation: per-request matrix-vector products against the
+        // cached K/V (no batching opportunity, §2.1).
+        add({OpKind::Logit, seq_len, d_dev, 1, 0, true});
+        add({OpKind::Softmax, 0, 0, 0,
+             static_cast<std::uint64_t>(batch) *
+                 static_cast<std::uint64_t>(heads_dev) *
+                 static_cast<std::uint64_t>(seq_len),
+             false});
+        add({OpKind::Attend, d_dev, seq_len, 1, 0, true});
+    }
+
+    add({OpKind::Projection, gemm_rows, d_dev, d, 0, false});
+    add({OpKind::Residual, 0, 0, 0,
+         static_cast<std::uint64_t>(gemm_rows * d), false});
+    add({OpKind::LayerNorm, 0, 0, 0,
+         static_cast<std::uint64_t>(gemm_rows * d), false});
+    add({OpKind::FfnUp, gemm_rows, d, cfg.ffnDim() / tp, 0, false});
+    add({OpKind::FfnDown, gemm_rows, cfg.ffnDim() / tp, d, 0, false});
+    add({OpKind::Residual, 0, 0, 0,
+         static_cast<std::uint64_t>(gemm_rows * d), false});
+    return ops;
+}
+
+Flops
+blockFlops(const std::vector<OpDesc> &ops)
+{
+    Flops total = 0.0;
+    for (const auto &op : ops)
+        total += op.flops();
+    return total;
+}
+
+Bytes
+blockStreamBytes(const std::vector<OpDesc> &ops)
+{
+    Bytes total = 0;
+    for (const auto &op : ops)
+        total += op.streamBytes();
+    return total;
+}
+
+} // namespace neupims::model

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Builds the operator sequence of one decoder block (Fig. 2) for a
+ * given model, tensor-parallel degree, batch and phase.
+ */
+
+#ifndef NEUPIMS_MODEL_DECODER_BLOCK_H_
+#define NEUPIMS_MODEL_DECODER_BLOCK_H_
+
+#include <vector>
+
+#include "model/llm_config.h"
+#include "model/operators.h"
+
+namespace neupims::model {
+
+enum class Phase
+{
+    Summarization, ///< prompt encoding: everything batches into GEMMs
+    Generation,    ///< autoregressive decode: MHA degrades to GEMVs
+};
+
+/**
+ * Operator list for one decoder block on one device.
+ *
+ * @param cfg model architecture
+ * @param tp tensor-parallel degree (weights and heads sharded)
+ * @param batch requests in the batch (tokens in flight per iteration)
+ * @param phase summarization or generation
+ * @param seq_len context length: prompt length in summarization, the
+ *        (average) KV history length in generation
+ */
+std::vector<OpDesc> buildDecoderOps(const LlmConfig &cfg, int tp,
+                                    int batch, Phase phase,
+                                    std::int64_t seq_len);
+
+/** Sum of FLOPs over the block's operators. */
+Flops blockFlops(const std::vector<OpDesc> &ops);
+
+/** Sum of streamed bytes over the block's operators. */
+Bytes blockStreamBytes(const std::vector<OpDesc> &ops);
+
+} // namespace neupims::model
+
+#endif // NEUPIMS_MODEL_DECODER_BLOCK_H_

@@ -1,0 +1,81 @@
+#include "model/llm_config.h"
+
+#include "common/log.h"
+
+namespace neupims::model {
+
+LlmConfig
+gpt3_7b()
+{
+    return LlmConfig{"GPT3-7B", 32, 32, 4096, 4, 1};
+}
+
+LlmConfig
+gpt3_13b()
+{
+    return LlmConfig{"GPT3-13B", 40, 40, 5120, 4, 1};
+}
+
+LlmConfig
+gpt3_30b()
+{
+    return LlmConfig{"GPT3-30B", 48, 56, 7168, 4, 2};
+}
+
+LlmConfig
+gpt3_175b()
+{
+    return LlmConfig{"GPT3-175B", 96, 96, 12288, 8, 4};
+}
+
+std::vector<LlmConfig>
+allGpt3Models()
+{
+    return {gpt3_7b(), gpt3_13b(), gpt3_30b(), gpt3_175b()};
+}
+
+LlmConfig
+gptNeoX20b()
+{
+    return LlmConfig{"GPT-NeoX", 44, 64, 6144, 4, 1};
+}
+
+LlmConfig
+llama2_13b()
+{
+    return LlmConfig{"LLaMa2", 40, 40, 5120, 4, 1};
+}
+
+LlmConfig
+opt_30b()
+{
+    return LlmConfig{"OPT", 48, 56, 7168, 4, 1};
+}
+
+LlmConfig
+mpt_30b()
+{
+    return LlmConfig{"MPT", 48, 64, 7168, 4, 1};
+}
+
+std::vector<LlmConfig>
+figure5Models()
+{
+    return {gptNeoX20b(), llama2_13b(), opt_30b(), mpt_30b()};
+}
+
+LlmConfig
+modelByName(const std::string &name)
+{
+    for (const auto &m : allGpt3Models()) {
+        if (m.name == name)
+            return m;
+    }
+    for (const auto &m : figure5Models()) {
+        if (m.name == name)
+            return m;
+    }
+    fatal("unknown model: ", name);
+}
+
+} // namespace neupims::model

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * LLM architecture configurations (paper Table 3) and derived shape
+ * arithmetic: parameter counts, per-device weight footprints under
+ * tensor parallelism, and KV-cache geometry.
+ */
+
+#ifndef NEUPIMS_MODEL_LLM_CONFIG_H_
+#define NEUPIMS_MODEL_LLM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace neupims::model {
+
+struct LlmConfig
+{
+    std::string name;
+    int numLayers = 0;
+    int numHeads = 0;
+    std::int64_t dModel = 0;
+    int defaultTp = 1; ///< Table 3 tensor-parallel degree
+    int defaultPp = 1; ///< Table 3 pipeline-parallel degree
+    int bytesPerParam = 2; ///< fp16/bf16 inference
+
+    std::int64_t headDim() const { return dModel / numHeads; }
+    std::int64_t ffnDim() const { return 4 * dModel; }
+
+    /** Heads served by one device under tensor parallelism @p tp. */
+    int headsPerDevice(int tp) const { return numHeads / tp; }
+
+    /** Decoder layers resident on one device under pipeline depth. */
+    int layersPerDevice(int pp) const { return numLayers / pp; }
+
+    /**
+     * Weight parameters of one decoder block: QKV (3 d^2), attention
+     * output projection (d^2) and the two FFN matrices (2 x 4 d^2).
+     */
+    std::int64_t
+    paramsPerLayer() const
+    {
+        return 12 * dModel * dModel;
+    }
+
+    std::int64_t
+    totalParams() const
+    {
+        return paramsPerLayer() * numLayers;
+    }
+
+    /** Per-device weight bytes of one decoder block under TP. */
+    Bytes
+    weightBytesPerLayer(int tp) const
+    {
+        return static_cast<Bytes>(paramsPerLayer() / tp) *
+               static_cast<Bytes>(bytesPerParam);
+    }
+
+    /** Per-device KV-cache bytes appended per token per layer (K+V). */
+    Bytes
+    kvBytesPerTokenPerLayer(int tp) const
+    {
+        return static_cast<Bytes>(2 * dModel / tp) *
+               static_cast<Bytes>(bytesPerParam);
+    }
+
+    /** Per-device embedding width under tensor parallelism. */
+    std::int64_t dModelPerDevice(int tp) const { return dModel / tp; }
+};
+
+/** Table 3 models. */
+LlmConfig gpt3_7b();
+LlmConfig gpt3_13b();
+LlmConfig gpt3_30b();
+LlmConfig gpt3_175b();
+std::vector<LlmConfig> allGpt3Models();
+
+/** Figure 5 models (GPU-utilization study). */
+LlmConfig gptNeoX20b();
+LlmConfig llama2_13b();
+LlmConfig opt_30b();
+LlmConfig mpt_30b();
+std::vector<LlmConfig> figure5Models();
+
+/** Look up any known model by name; fatal() on unknown names. */
+LlmConfig modelByName(const std::string &name);
+
+} // namespace neupims::model
+
+#endif // NEUPIMS_MODEL_LLM_CONFIG_H_

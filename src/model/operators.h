@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Operator intermediate representation for decoder blocks (Fig. 1-3).
+ *
+ * The compiler front end lowers an LlmConfig into a sequence of
+ * operators per decoder block. Weight-activation operators (QKV
+ * generation, output projection, both FFN matrices) batch into GEMMs;
+ * activation-activation operators (logit, attend) are per-request
+ * GEMVs; softmax / layer norm / residual run on the vector units.
+ */
+
+#ifndef NEUPIMS_MODEL_OPERATORS_H_
+#define NEUPIMS_MODEL_OPERATORS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace neupims::model {
+
+enum class OpKind : std::uint8_t
+{
+    QkvGeneration, ///< GEMM: [B, d] x [d, 3d/tp]
+    Logit,         ///< GEMV per request/head: K^T q
+    Softmax,       ///< vector op over logits
+    Attend,        ///< GEMV per request/head: V^T softmax(logits)
+    Projection,    ///< GEMM: [B, d/tp] x [d/tp, d]
+    FfnUp,         ///< GEMM: [B, d] x [d, 4d/tp]
+    FfnDown,       ///< GEMM: [B, 4d/tp] x [4d/tp, d]
+    LayerNorm,     ///< vector op
+    Residual,      ///< vector op
+};
+
+constexpr bool
+isGemmOp(OpKind k)
+{
+    return k == OpKind::QkvGeneration || k == OpKind::Projection ||
+           k == OpKind::FfnUp || k == OpKind::FfnDown;
+}
+
+constexpr bool
+isGemvOp(OpKind k)
+{
+    return k == OpKind::Logit || k == OpKind::Attend;
+}
+
+constexpr bool
+isVectorOp(OpKind k)
+{
+    return k == OpKind::Softmax || k == OpKind::LayerNorm ||
+           k == OpKind::Residual;
+}
+
+constexpr std::string_view
+opName(OpKind k)
+{
+    switch (k) {
+      case OpKind::QkvGeneration: return "qkv_generation";
+      case OpKind::Logit: return "logit";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::Attend: return "attend";
+      case OpKind::Projection: return "projection";
+      case OpKind::FfnUp: return "ffn_up";
+      case OpKind::FfnDown: return "ffn_down";
+      case OpKind::LayerNorm: return "layer_norm";
+      case OpKind::Residual: return "residual";
+    }
+    return "?";
+}
+
+/**
+ * One operator instance with its tensor shape. For GEMM ops (m,k,n)
+ * is the batched matrix product; for GEMV ops the shape is the
+ * *per-request* matrix-vector product and `perRequest` is true; for
+ * vector ops `elems` carries the element count.
+ */
+struct OpDesc
+{
+    OpKind kind = OpKind::QkvGeneration;
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::int64_t n = 0;
+    std::uint64_t elems = 0;
+    bool perRequest = false;
+
+    Flops
+    flops() const
+    {
+        if (isVectorOp(kind))
+            return static_cast<double>(elems);
+        return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n);
+    }
+
+    /** Bytes of the streamed (weight or activation-matrix) operand. */
+    Bytes
+    streamBytes() const
+    {
+        if (isVectorOp(kind))
+            return 0;
+        // Weight-activation GEMMs stream the [k x n] weight matrix;
+        // activation-activation GEMVs stream the [m x k] K/V matrix
+        // (there is no weight and no reuse, §2.1).
+        if (isGemvOp(kind))
+            return static_cast<Bytes>(m) * static_cast<Bytes>(k) * 2;
+        return static_cast<Bytes>(k) * static_cast<Bytes>(n) * 2;
+    }
+
+    /** Arithmetic intensity in FLOPs per streamed byte (Fig. 4). */
+    double
+    arithmeticIntensity() const
+    {
+        Bytes b = streamBytes();
+        return b ? flops() / static_cast<double>(b) : 0.0;
+    }
+};
+
+} // namespace neupims::model
+
+#endif // NEUPIMS_MODEL_OPERATORS_H_

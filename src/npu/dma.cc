@@ -1,0 +1,118 @@
+#include "npu/dma.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::npu {
+
+DmaEngine::DmaEngine(EventQueue &eq, dram::HbmStack &hbm)
+    : eq_(eq), hbm_(hbm), nextBank_(hbm.numChannels(), 0),
+      nextRow_(hbm.numChannels(), 0)
+{}
+
+void
+DmaEngine::enqueueRows(ChannelId ch, Bytes bytes, bool write,
+                       int bursts_per_row,
+                       const std::shared_ptr<Tracker> &tracker)
+{
+    const auto &org = hbm_.config().org;
+    NEUPIMS_ASSERT(bursts_per_row >= 1 &&
+                   bursts_per_row <= org.burstsPerRow());
+    Bytes bytes_per_job =
+        org.burstBytes * static_cast<Bytes>(bursts_per_row);
+    auto &ctrl = hbm_.controller(ch);
+    while (bytes > 0) {
+        Bytes chunk = std::min(bytes, bytes_per_job);
+        int bursts = static_cast<int>(
+            (chunk + org.burstBytes - 1) / org.burstBytes);
+        dram::MemJob job;
+        job.bank = nextBank_[ch];
+        job.row = nextRow_[ch];
+        job.bursts = bursts;
+        job.write = write;
+        ++tracker->outstanding;
+        job.onComplete = [tracker, this](Cycle c) {
+            tracker->last = std::max(tracker->last, c);
+            if (--tracker->outstanding == 0 && tracker->sealed &&
+                tracker->onDone) {
+                // Controller callbacks are synchronous (possibly ahead
+                // of simulated time); fire the stream-completion
+                // callback at the authoritative cycle.
+                eq_.schedule(std::max(tracker->last, eq_.now()),
+                             [tracker] { tracker->onDone(tracker->last); });
+            }
+        };
+        ctrl.enqueueMem(std::move(job));
+        issuedBytes_ += chunk;
+        bytes -= chunk;
+        // Rotate banks so successive rows pipeline; advance the row
+        // cursor after a full sweep of the banks.
+        if (++nextBank_[ch] == org.banksPerChannel) {
+            nextBank_[ch] = 0;
+            ++nextRow_[ch];
+        }
+    }
+}
+
+void
+DmaEngine::streamAllChannels(Bytes total, bool write, int bursts_per_row,
+                             Callback on_done)
+{
+    auto tracker = std::make_shared<Tracker>();
+    tracker->onDone = std::move(on_done);
+    int n = hbm_.numChannels();
+    // Whole bursts per channel; the sub-burst tail rides channel 0 so
+    // only one channel rounds up.
+    Bytes burst = hbm_.config().org.burstBytes;
+    Bytes per_channel = (total / n) / burst * burst;
+    Bytes remainder = total - per_channel * static_cast<Bytes>(n);
+    for (ChannelId ch = 0; ch < n; ++ch) {
+        Bytes bytes = per_channel + (ch == 0 ? remainder : 0);
+        if (bytes > 0)
+            enqueueRows(ch, bytes, write, bursts_per_row, tracker);
+    }
+    tracker->sealed = true;
+    if (tracker->outstanding == 0 && tracker->onDone) {
+        // Degenerate zero-byte stream: complete immediately.
+        eq_.schedule(eq_.now(),
+                     [cb = tracker->onDone, t = eq_.now()] { cb(t); });
+    }
+}
+
+void
+DmaEngine::streamChannel(ChannelId ch, Bytes bytes, bool write,
+                         int bursts_per_row, Callback on_done)
+{
+    auto tracker = std::make_shared<Tracker>();
+    tracker->onDone = std::move(on_done);
+    if (bytes > 0)
+        enqueueRows(ch, bytes, write, bursts_per_row, tracker);
+    tracker->sealed = true;
+    if (tracker->outstanding == 0 && tracker->onDone)
+        eq_.schedule(eq_.now(),
+                     [cb = tracker->onDone, t = eq_.now()] { cb(t); });
+}
+
+void
+DmaEngine::streamPerChannel(const std::vector<Bytes> &bytes_per_channel,
+                            bool write, int bursts_per_row,
+                            Callback on_done)
+{
+    NEUPIMS_ASSERT(static_cast<int>(bytes_per_channel.size()) <=
+                   hbm_.numChannels());
+    auto tracker = std::make_shared<Tracker>();
+    tracker->onDone = std::move(on_done);
+    for (ChannelId ch = 0;
+         ch < static_cast<ChannelId>(bytes_per_channel.size()); ++ch) {
+        if (bytes_per_channel[ch] > 0)
+            enqueueRows(ch, bytes_per_channel[ch], write, bursts_per_row,
+                        tracker);
+    }
+    tracker->sealed = true;
+    if (tracker->outstanding == 0 && tracker->onDone)
+        eq_.schedule(eq_.now(),
+                     [cb = tracker->onDone, t = eq_.now()] { cb(t); });
+}
+
+} // namespace neupims::npu

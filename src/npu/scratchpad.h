@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scratchpad (SPM) capacity model.
+ *
+ * The compiler checks that a GEMM's working set — one double-buffered
+ * weight tile per systolic array plus the streaming activation
+ * panels — fits the on-chip scratchpad, and chooses the largest M
+ * panel that does. The NeuPIMs compiler "adjusts tile sizes ... to
+ * align with the NeuPIMs system specification" (§4.4); this is that
+ * check.
+ */
+
+#ifndef NEUPIMS_NPU_SCRATCHPAD_H_
+#define NEUPIMS_NPU_SCRATCHPAD_H_
+
+#include "common/types.h"
+#include "npu/systolic_array.h"
+
+namespace neupims::npu {
+
+class Scratchpad
+{
+  public:
+    Scratchpad(Bytes capacity, const SystolicArrayConfig &sa,
+               int num_arrays)
+        : capacity_(capacity), sa_(sa), numArrays_(num_arrays)
+    {}
+
+    Bytes capacity() const { return capacity_; }
+
+    /** Bytes of one double-buffered weight tile across all arrays. */
+    Bytes
+    weightTileBytes() const
+    {
+        return static_cast<Bytes>(sa_.rows) *
+               static_cast<Bytes>(sa_.cols) * 2 /*fp16*/ *
+               2 /*double buffer*/ * static_cast<Bytes>(numArrays_);
+    }
+
+    /**
+     * Largest activation-panel row count M that fits alongside the
+     * weight tiles (input panel of K columns + output panel of N
+     * columns per array, fp16, double buffered).
+     */
+    std::int64_t
+    maxPanelRows(std::int64_t k, std::int64_t n) const
+    {
+        Bytes weights = weightTileBytes();
+        if (weights >= capacity_)
+            return 0;
+        Bytes per_row = (static_cast<Bytes>(k) + static_cast<Bytes>(n)) *
+                        2 /*fp16*/ * 2 /*double buffer*/;
+        return static_cast<std::int64_t>((capacity_ - weights) / per_row);
+    }
+
+    /** Whether a full (M,K,N) working set fits without re-tiling. */
+    bool
+    fits(const GemmShape &shape) const
+    {
+        return shape.m <= maxPanelRows(shape.k, shape.n);
+    }
+
+  private:
+    Bytes capacity_;
+    SystolicArrayConfig sa_;
+    int numArrays_;
+};
+
+} // namespace neupims::npu
+
+#endif // NEUPIMS_NPU_SCRATCHPAD_H_

@@ -1,0 +1,54 @@
+#include "npu/systolic_array.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::npu {
+
+namespace {
+
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+Cycle
+SystolicArray::gemmCycles(const GemmShape &shape) const
+{
+    NEUPIMS_ASSERT(shape.m >= 1 && shape.k >= 1 && shape.n >= 1);
+    std::int64_t tiles_k = ceilDiv(shape.k, cfg_.rows);
+    std::int64_t tiles_n = ceilDiv(shape.n, cfg_.cols);
+    // Double-buffered weight load: a pass cannot be shorter than the
+    // rows cycles needed to shift the next weight tile in.
+    std::int64_t pass = std::max<std::int64_t>(shape.m, cfg_.rows);
+    std::int64_t total =
+        tiles_k * tiles_n * pass + cfg_.rows + cfg_.cols;
+    return static_cast<Cycle>(total);
+}
+
+double
+SystolicArray::efficiency(const GemmShape &shape) const
+{
+    double cycles = static_cast<double>(gemmCycles(shape));
+    return shape.flops() / (cfg_.peakFlopsPerCycle() * cycles);
+}
+
+Cycle
+SystolicArrayPool::gemmCycles(const GemmShape &shape) const
+{
+    // Partition the N tile columns across arrays; the pool finishes
+    // when the array with the most tile columns finishes.
+    std::int64_t tiles_n =
+        ceilDiv(shape.n, array_.config().cols);
+    std::int64_t tiles_per_array = ceilDiv(tiles_n, count_);
+    GemmShape shard = shape;
+    shard.n = std::min<std::int64_t>(
+        shape.n, tiles_per_array * array_.config().cols);
+    return array_.gemmCycles(shard);
+}
+
+} // namespace neupims::npu

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tile-level cycle model of the NPU's systolic arrays.
+ *
+ * The NeuPIMs NPU (Table 2) carries 8 systolic arrays of 128x128 MACs
+ * at 1 GHz. We model a weight-stationary dataflow: weights are loaded
+ * tile by tile (double-buffered, so the load hides under the previous
+ * tile's streaming when M >= the array height) and M activation rows
+ * stream through each tile. This reproduces the efficiency cliff the
+ * paper leans on: small-M GEMMs (small batches, or halved sub-batches)
+ * under-utilize the array because fill/drain overheads stop
+ * amortizing.
+ */
+
+#ifndef NEUPIMS_NPU_SYSTOLIC_ARRAY_H_
+#define NEUPIMS_NPU_SYSTOLIC_ARRAY_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace neupims::npu {
+
+/** A GEMM of shape (M x K) * (K x N). */
+struct GemmShape
+{
+    std::int64_t m = 1;
+    std::int64_t k = 1;
+    std::int64_t n = 1;
+
+    Flops
+    flops() const
+    {
+        return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n);
+    }
+
+    /** fp16 weight bytes streamed from HBM (weights loaded once). */
+    Bytes
+    weightBytes() const
+    {
+        return static_cast<Bytes>(k) * static_cast<Bytes>(n) * 2;
+    }
+};
+
+struct SystolicArrayConfig
+{
+    int rows = 128; ///< PE rows (K dimension of a weight tile)
+    int cols = 128; ///< PE columns (N dimension of a weight tile)
+
+    double
+    peakFlopsPerCycle() const
+    {
+        return 2.0 * rows * cols;
+    }
+};
+
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(const SystolicArrayConfig &cfg) : cfg_(cfg) {}
+
+    const SystolicArrayConfig &config() const { return cfg_; }
+
+    /**
+     * Cycles this single array needs for a GEMM, weight-stationary.
+     * Each of ceil(K/rows)*ceil(N/cols) weight tiles streams M rows;
+     * with double buffering a pass costs max(M, rows) cycles, plus a
+     * one-time pipeline fill/drain of rows + cols cycles.
+     */
+    Cycle gemmCycles(const GemmShape &shape) const;
+
+    /** Compute utilization of this array over a GEMM (0..1]. */
+    double efficiency(const GemmShape &shape) const;
+
+  private:
+    SystolicArrayConfig cfg_;
+};
+
+/**
+ * The pooled view the executor uses: @p count arrays cooperating on
+ * one GEMM by partitioning the N dimension tile-column-wise.
+ */
+class SystolicArrayPool
+{
+  public:
+    SystolicArrayPool(const SystolicArrayConfig &cfg, int count)
+        : array_(cfg), count_(count)
+    {}
+
+    int count() const { return count_; }
+    const SystolicArray &array() const { return array_; }
+
+    /** Cycles for the pool to finish @p shape with N split @p count ways. */
+    Cycle gemmCycles(const GemmShape &shape) const;
+
+    /** Aggregate peak throughput in FLOPs per cycle. */
+    double
+    peakFlopsPerCycle() const
+    {
+        return array_.config().peakFlopsPerCycle() * count_;
+    }
+
+  private:
+    SystolicArray array_;
+    int count_;
+};
+
+} // namespace neupims::npu
+
+#endif // NEUPIMS_NPU_SYSTOLIC_ARRAY_H_

@@ -1,0 +1,20 @@
+#include "npu/vector_unit.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace neupims::npu {
+
+Cycle
+VectorUnit::opCycles(std::uint64_t elems, double ops_per_elem) const
+{
+    NEUPIMS_ASSERT(ops_per_elem > 0.0);
+    if (elems == 0)
+        return 0;
+    double ops = static_cast<double>(elems) * ops_per_elem;
+    double cycles = std::ceil(ops / static_cast<double>(cfg_.lanes));
+    return static_cast<Cycle>(cycles);
+}
+
+} // namespace neupims::npu

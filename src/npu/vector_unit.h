@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cycle model of the NPU's SIMD vector units.
+ *
+ * Each of the 8 vector units is a 128-lane SIMD pipe (Table 2) serving
+ * the non-GEMM operators: softmax (the piece of multi-head attention
+ * that stays on the NPU, Fig. 10), layer norm, residual adds and
+ * activation functions.
+ */
+
+#ifndef NEUPIMS_NPU_VECTOR_UNIT_H_
+#define NEUPIMS_NPU_VECTOR_UNIT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace neupims::npu {
+
+struct VectorUnitConfig
+{
+    int lanes = 128;  ///< SIMD width (Table 2: vector unit 128 x 1)
+    /** Effective ops per element for a softmax: max-reduce, subtract+
+     * exponential, sum-reduce, divide. exp costs extra pipe passes. */
+    double softmaxOpsPerElem = 5.0;
+    double layerNormOpsPerElem = 4.0;
+    double geluOpsPerElem = 6.0;
+    double elementwiseOpsPerElem = 1.0;
+};
+
+class VectorUnit
+{
+  public:
+    explicit VectorUnit(const VectorUnitConfig &cfg) : cfg_(cfg) {}
+
+    const VectorUnitConfig &config() const { return cfg_; }
+
+    /** Cycles for @p elems elements at @p ops_per_elem on one unit. */
+    Cycle opCycles(std::uint64_t elems, double ops_per_elem) const;
+
+    Cycle
+    softmaxCycles(std::uint64_t elems) const
+    {
+        return opCycles(elems, cfg_.softmaxOpsPerElem);
+    }
+
+    Cycle
+    layerNormCycles(std::uint64_t elems) const
+    {
+        return opCycles(elems, cfg_.layerNormOpsPerElem);
+    }
+
+    Cycle
+    geluCycles(std::uint64_t elems) const
+    {
+        return opCycles(elems, cfg_.geluOpsPerElem);
+    }
+
+    Cycle
+    residualCycles(std::uint64_t elems) const
+    {
+        return opCycles(elems, cfg_.elementwiseOpsPerElem);
+    }
+
+  private:
+    VectorUnitConfig cfg_;
+};
+
+/** Pooled view: work divides evenly across @p count units. */
+class VectorUnitPool
+{
+  public:
+    VectorUnitPool(const VectorUnitConfig &cfg, int count)
+        : unit_(cfg), count_(count)
+    {}
+
+    int count() const { return count_; }
+    const VectorUnit &unit() const { return unit_; }
+
+    Cycle
+    softmaxCycles(std::uint64_t elems) const
+    {
+        return unit_.softmaxCycles((elems + count_ - 1) / count_);
+    }
+
+    Cycle
+    opCycles(std::uint64_t elems, double ops_per_elem) const
+    {
+        return unit_.opCycles((elems + count_ - 1) / count_,
+                              ops_per_elem);
+    }
+
+  private:
+    VectorUnit unit_;
+    int count_;
+};
+
+} // namespace neupims::npu
+
+#endif // NEUPIMS_NPU_VECTOR_UNIT_H_

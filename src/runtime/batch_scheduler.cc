@@ -1,0 +1,112 @@
+#include "runtime/batch_scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+std::vector<std::vector<int>>
+IterationSchedule::seqLensPerChannel() const
+{
+    std::vector<std::vector<int>> lens(perChannel.size());
+    for (std::size_t ch = 0; ch < perChannel.size(); ++ch) {
+        lens[ch].reserve(perChannel[ch].size());
+        for (const Request *req : perChannel[ch])
+            lens[ch].push_back(req->currentSeqLen());
+    }
+    return lens;
+}
+
+BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,
+                               RequestPool &pool, PagedKvCache &kv)
+    : cfg_(cfg), pool_(pool), kv_(kv), estimator_(cfg.estimator)
+{
+    NEUPIMS_ASSERT(cfg_.channels >= 1 && cfg_.maxBatch >= 1);
+}
+
+ChannelId
+BatchScheduler::pickChannel(const Request &req,
+                            std::vector<double> &loads)
+{
+    int tokens = req.currentSeqLen();
+    if (cfg_.minLoadPacking) {
+        // Min-load channel among those with KV room.
+        ChannelId best = kInvalidId;
+        for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
+            if (!kv_.canAllocate(ch, tokens))
+                continue;
+            if (best == kInvalidId || loads[ch] < loads[best])
+                best = ch;
+        }
+        return best;
+    }
+    // Round-robin: first channel with room, starting at the cursor.
+    for (int probe = 0; probe < cfg_.channels; ++probe) {
+        ChannelId ch = (rrCursor_ + probe) % cfg_.channels;
+        if (kv_.canAllocate(ch, tokens)) {
+            rrCursor_ = (ch + 1) % cfg_.channels;
+            return ch;
+        }
+    }
+    return kInvalidId;
+}
+
+IterationSchedule
+BatchScheduler::scheduleIteration()
+{
+    IterationSchedule out;
+
+    // Current channel loads from the already-running batch.
+    std::vector<double> loads(cfg_.channels, 0.0);
+    for (Request *req : pool_.runningRequests()) {
+        NEUPIMS_ASSERT(req->channel >= 0);
+        loads[req->channel] +=
+            estimator_.estimate(req->currentSeqLen());
+    }
+
+    // Iteration-level admission: fill the batch while KV room lasts.
+    while (pool_.runningCount() < static_cast<std::size_t>(
+                                      cfg_.maxBatch) &&
+           pool_.waitingCount() > 0) {
+        auto admitted = pool_.admit(1);
+        NEUPIMS_ASSERT(admitted.size() == 1);
+        Request &req = pool_.request(admitted[0]);
+        ChannelId ch = pickChannel(req, loads);
+        if (ch == kInvalidId) {
+            // No channel can host this request's KV: put it back and
+            // stop admitting (FIFO order preserved).
+            pool_.requeue(admitted[0]);
+            break;
+        }
+        req.channel = ch;
+        bool ok = kv_.allocateSequence(req.id, ch, req.currentSeqLen());
+        NEUPIMS_ASSERT(ok, "KV allocation raced admission check");
+        loads[ch] += estimator_.estimate(req.currentSeqLen());
+        ++out.admitted;
+    }
+
+    out.batch = pool_.runningRequests();
+    out.perChannel = groupByChannel(out.batch, cfg_.channels);
+    out.subBatches = partitionSubBatches(out.perChannel);
+    out.channelLoads = std::move(loads);
+    return out;
+}
+
+int
+BatchScheduler::completeIteration()
+{
+    for (Request *req : pool_.runningRequests()) {
+        if (!kv_.appendToken(req->id)) {
+            warn("KV channel ", req->channel,
+                 " out of pages; request ", req->id,
+                 " token not cached (stall modeled as continue)");
+        }
+    }
+    auto retired = pool_.completeIteration();
+    for (RequestId id : retired)
+        kv_.freeSequence(id);
+    return static_cast<int>(retired.size());
+}
+
+} // namespace neupims::runtime

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Orca-style iteration-level batch scheduler (paper §2.2, Fig. 7).
+ *
+ * At every iteration boundary the scheduler retires finished
+ * requests, admits waiting ones while the paged KV cache has room,
+ * assigns newly admitted requests to PIM channels (greedy min-load
+ * bin packing for NeuPIMs, round-robin for the naive baseline), and
+ * partitions the active batch into two sub-batches for interleaving.
+ */
+
+#ifndef NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_
+#define NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_
+
+#include <vector>
+
+#include "runtime/bin_packing.h"
+#include "runtime/kv_cache.h"
+#include "runtime/latency_model.h"
+#include "runtime/request_pool.h"
+#include "runtime/sub_batch.h"
+
+namespace neupims::runtime {
+
+struct SchedulerConfig
+{
+    int channels = 32;
+    int maxBatch = 256;
+    bool minLoadPacking = true; ///< Algorithm 2 vs round-robin
+    MhaLatencyParams estimator;
+};
+
+/** The work the scheduler hands the executor for one iteration. */
+struct IterationSchedule
+{
+    std::vector<Request *> batch;
+    std::vector<std::vector<Request *>> perChannel;
+    SubBatches subBatches;
+    std::vector<double> channelLoads; ///< Algorithm-1 estimates
+    int admitted = 0;
+
+    int batchSize() const { return static_cast<int>(batch.size()); }
+
+    /** Current sequence lengths grouped by channel (compiler input). */
+    std::vector<std::vector<int>> seqLensPerChannel() const;
+};
+
+class BatchScheduler
+{
+  public:
+    BatchScheduler(const SchedulerConfig &cfg, RequestPool &pool,
+                   PagedKvCache &kv);
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+    /** Build the schedule for the next iteration. */
+    IterationSchedule scheduleIteration();
+
+    /**
+     * Account one completed iteration: every running request appends
+     * one KV token and advances; finished requests release their
+     * pages. @return number of retired requests.
+     */
+    int completeIteration();
+
+  private:
+    /** Pick a channel for @p req, honoring KV capacity; -1 if full. */
+    ChannelId pickChannel(const Request &req,
+                          std::vector<double> &loads);
+
+    SchedulerConfig cfg_;
+    RequestPool &pool_;
+    PagedKvCache &kv_;
+    MhaLatencyEstimator estimator_;
+    int rrCursor_ = 0;
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_

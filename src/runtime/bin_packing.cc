@@ -1,0 +1,55 @@
+#include "runtime/bin_packing.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+std::vector<double>
+greedyMinLoadBinPacking(std::vector<Request *> &new_requests,
+                        std::vector<double> existing_load_per_channel,
+                        const MhaLatencyEstimator &estimator)
+{
+    NEUPIMS_ASSERT(!existing_load_per_channel.empty());
+    auto &loads = existing_load_per_channel;
+
+    // Algorithm 2: sort descending by sequence length, then place each
+    // request on the channel with minimal estimated load.
+    std::sort(new_requests.begin(), new_requests.end(),
+              [](const Request *a, const Request *b) {
+                  return a->currentSeqLen() > b->currentSeqLen();
+              });
+    for (Request *req : new_requests) {
+        auto min_it = std::min_element(loads.begin(), loads.end());
+        req->channel =
+            static_cast<ChannelId>(min_it - loads.begin());
+        *min_it += estimator.estimate(req->currentSeqLen());
+    }
+    return loads;
+}
+
+void
+roundRobinAssign(std::vector<Request *> &new_requests, int channels,
+                 int &cursor)
+{
+    NEUPIMS_ASSERT(channels >= 1);
+    for (Request *req : new_requests) {
+        req->channel = cursor;
+        cursor = (cursor + 1) % channels;
+    }
+}
+
+double
+loadImbalance(const std::vector<double> &loads)
+{
+    NEUPIMS_ASSERT(!loads.empty());
+    double max_load = *std::max_element(loads.begin(), loads.end());
+    double sum = 0.0;
+    for (double l : loads)
+        sum += l;
+    double mean = sum / static_cast<double>(loads.size());
+    return mean > 0.0 ? max_load / mean : 1.0;
+}
+
+} // namespace neupims::runtime

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Algorithm 2: greedy min-load bin packing of requests onto PIM
+ * channels, plus the round-robin baseline used by the naive NPU+PIM
+ * configuration (§8.1).
+ *
+ * MHA latency on a channel is the sum of its requests' estimated
+ * latencies, and the layer's MHA latency is the max over channels —
+ * so the packer sorts requests by descending sequence length and
+ * assigns each to the currently least-loaded channel.
+ */
+
+#ifndef NEUPIMS_RUNTIME_BIN_PACKING_H_
+#define NEUPIMS_RUNTIME_BIN_PACKING_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/latency_model.h"
+#include "runtime/request.h"
+
+namespace neupims::runtime {
+
+/**
+ * Greedy min-load bin packing (Algorithm 2).
+ *
+ * @param new_requests requests to place (their `channel` is written)
+ * @param existing_load_per_channel current estimated load of every
+ *        channel (from requests already resident there)
+ * @param estimator Algorithm-1 latency estimator
+ * @return per-channel load after placement
+ */
+std::vector<double>
+greedyMinLoadBinPacking(std::vector<Request *> &new_requests,
+                        std::vector<double> existing_load_per_channel,
+                        const MhaLatencyEstimator &estimator);
+
+/** Round-robin placement (naive NPU+PIM baseline). */
+void roundRobinAssign(std::vector<Request *> &new_requests, int channels,
+                      int &cursor);
+
+/**
+ * Load imbalance of an assignment: max channel load over mean load.
+ * 1.0 is perfectly balanced.
+ */
+double loadImbalance(const std::vector<double> &loads);
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_BIN_PACKING_H_

@@ -1,0 +1,110 @@
+#include "runtime/kv_cache.h"
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+PagedKvCache::PagedKvCache(const KvCacheConfig &cfg) : cfg_(cfg)
+{
+    NEUPIMS_ASSERT(cfg_.channels >= 1);
+    NEUPIMS_ASSERT(cfg_.tokensPerPage >= 1);
+    NEUPIMS_ASSERT(cfg_.bytesPerTokenPerLayer >= 1,
+                   "KV bytes per token must be configured");
+    freePages_.assign(cfg_.channels, cfg_.pagesPerChannel());
+}
+
+std::int64_t
+PagedKvCache::freePages(ChannelId channel) const
+{
+    NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
+    return freePages_[channel];
+}
+
+std::int64_t
+PagedKvCache::pagesForTokens(int tokens) const
+{
+    return (static_cast<std::int64_t>(tokens) + cfg_.tokensPerPage - 1) /
+           cfg_.tokensPerPage;
+}
+
+bool
+PagedKvCache::canAllocate(ChannelId channel, int tokens) const
+{
+    return freePages(channel) >= pagesForTokens(tokens);
+}
+
+bool
+PagedKvCache::allocateSequence(RequestId id, ChannelId channel,
+                               int tokens)
+{
+    NEUPIMS_ASSERT(sequences_.find(id) == sequences_.end(),
+                   "request already has a KV sequence: ", id);
+    std::int64_t need = pagesForTokens(tokens);
+    if (freePages(channel) < need)
+        return false;
+    freePages_[channel] -= need;
+    sequences_[id] = Sequence{channel, tokens, need};
+    return true;
+}
+
+bool
+PagedKvCache::appendToken(RequestId id)
+{
+    auto it = sequences_.find(id);
+    NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
+    Sequence &seq = it->second;
+    std::int64_t need = pagesForTokens(seq.tokens + 1);
+    if (need > seq.pages) {
+        if (freePages_[seq.channel] == 0)
+            return false;
+        --freePages_[seq.channel];
+        seq.pages = need;
+    }
+    ++seq.tokens;
+    return true;
+}
+
+void
+PagedKvCache::freeSequence(RequestId id)
+{
+    auto it = sequences_.find(id);
+    if (it == sequences_.end())
+        return;
+    freePages_[it->second.channel] += it->second.pages;
+    sequences_.erase(it);
+}
+
+std::int64_t
+PagedKvCache::usedPages(ChannelId channel) const
+{
+    return cfg_.pagesPerChannel() - freePages(channel);
+}
+
+double
+PagedKvCache::utilization() const
+{
+    double total = static_cast<double>(cfg_.pagesPerChannel()) *
+                   static_cast<double>(cfg_.channels);
+    if (total == 0.0)
+        return 0.0;
+    double free_total = 0.0;
+    for (auto f : freePages_)
+        free_total += static_cast<double>(f);
+    return 1.0 - free_total / total;
+}
+
+ChannelId
+PagedKvCache::channelOf(RequestId id) const
+{
+    auto it = sequences_.find(id);
+    return it == sequences_.end() ? kInvalidId : it->second.channel;
+}
+
+int
+PagedKvCache::tokensOf(RequestId id) const
+{
+    auto it = sequences_.find(id);
+    return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+} // namespace neupims::runtime

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * vLLM-style paged KV-cache allocator (paper §2.2: NeuPIMs "employs
+ * the vLLM paging technique, implementing the page-based memory
+ * allocation mechanism for KV cache, which effectively increases the
+ * batch size significantly").
+ *
+ * Each PIM channel owns a pool of fixed-size pages; a request's KV
+ * cache grows one token at a time and allocates a fresh page only
+ * when the tail page fills. Admission control asks the allocator
+ * whether a new request's prompt fits before adding it to the batch.
+ */
+
+#ifndef NEUPIMS_RUNTIME_KV_CACHE_H_
+#define NEUPIMS_RUNTIME_KV_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace neupims::runtime {
+
+struct KvCacheConfig
+{
+    int channels = 32;
+    Bytes bytesPerChannel = 768_MiB; ///< capacity reserved for KV cache
+    int tokensPerPage = 16;          ///< vLLM-style block size
+    Bytes bytesPerTokenPerLayer = 0; ///< model-dependent (K+V, sharded)
+    int layers = 1;                  ///< layers resident on the device
+
+    /** Bytes of one page (tokensPerPage tokens, all layers). */
+    Bytes
+    pageBytes() const
+    {
+        return static_cast<Bytes>(tokensPerPage) *
+               bytesPerTokenPerLayer * static_cast<Bytes>(layers);
+    }
+
+    /** Total pages one channel can hold. */
+    std::int64_t
+    pagesPerChannel() const
+    {
+        return pageBytes() ? static_cast<std::int64_t>(
+                                 bytesPerChannel / pageBytes())
+                           : 0;
+    }
+};
+
+class PagedKvCache
+{
+  public:
+    explicit PagedKvCache(const KvCacheConfig &cfg);
+
+    const KvCacheConfig &config() const { return cfg_; }
+
+    /** Pages currently free on @p channel. */
+    std::int64_t freePages(ChannelId channel) const;
+
+    /** Pages a sequence of @p tokens occupies. */
+    std::int64_t pagesForTokens(int tokens) const;
+
+    /** Whether @p channel can host a new sequence of @p tokens. */
+    bool canAllocate(ChannelId channel, int tokens) const;
+
+    /**
+     * Bind @p id to @p channel and allocate its first @p tokens.
+     * @return false (no side effects) if capacity is insufficient.
+     */
+    bool allocateSequence(RequestId id, ChannelId channel, int tokens);
+
+    /**
+     * Grow @p id by one token; allocates a new page when the tail
+     * page is full. @return false if the channel is out of pages (the
+     * scheduler must then evict or stall — we stall).
+     */
+    bool appendToken(RequestId id);
+
+    /** Release all pages of @p id. */
+    void freeSequence(RequestId id);
+
+    /** Pages in use on @p channel. */
+    std::int64_t usedPages(ChannelId channel) const;
+
+    /** Device-wide page utilization in [0, 1]. */
+    double utilization() const;
+
+    /** Channel a request lives on, or kInvalidId. */
+    ChannelId channelOf(RequestId id) const;
+
+    /** Tokens stored for a request (0 if unknown). */
+    int tokensOf(RequestId id) const;
+
+  private:
+    struct Sequence
+    {
+        ChannelId channel = kInvalidId;
+        int tokens = 0;
+        std::int64_t pages = 0;
+    };
+
+    KvCacheConfig cfg_;
+    std::vector<std::int64_t> freePages_;
+    std::unordered_map<RequestId, Sequence> sequences_;
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_KV_CACHE_H_

@@ -1,0 +1,5 @@
+// Algorithm 1 is header-only (see latency_model.h); this translation
+// unit exists so the build exports a library symbol for the module.
+#include "runtime/latency_model.h"
+
+namespace neupims::runtime {} // namespace neupims::runtime

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Algorithm 1: MHA latency estimation.
+ *
+ * The scheduler needs to predict how long a request's multi-head
+ * attention will run on a PIM channel to balance channel loads
+ * (Algorithm 2). The estimate follows the paper verbatim: the
+ * K^T x Q GEMV costs (seq/B_chnl) * (E/P_DRAM) tiles plus one GWRITE
+ * per query chunk; the Logits x V GEMV costs
+ * ((E/N_head)/B_chnl) * ((seq/P_DRAM) * N_head) tiles plus one GWRITE
+ * per logits chunk per head.
+ */
+
+#ifndef NEUPIMS_RUNTIME_LATENCY_MODEL_H_
+#define NEUPIMS_RUNTIME_LATENCY_MODEL_H_
+
+#include "common/types.h"
+
+namespace neupims::runtime {
+
+struct MhaLatencyParams
+{
+    double embeddingSize = 4096;  ///< E: per-device embedding (d / tp)
+    double tileLatency = 70.0;    ///< L_tile: GEMV latency per PIM tile
+    double gwriteLatency = 22.0;  ///< L_GWRITE
+    double dramPageElems = 512.0; ///< P_DRAM in fp16 elements
+    double banksPerChannel = 32.0; ///< B_chnl
+    double numHeads = 32.0;       ///< N_head resident on the device
+};
+
+class MhaLatencyEstimator
+{
+  public:
+    explicit MhaLatencyEstimator(const MhaLatencyParams &p) : p_(p) {}
+
+    const MhaLatencyParams &params() const { return p_; }
+
+    /** Estimated MHA latency (cycles) for one request (Algorithm 1). */
+    double
+    estimate(int seq_len) const
+    {
+        const double seq = static_cast<double>(seq_len);
+        double latency = 0.0;
+        // GEMV latency for Key^T x Query.
+        double n_tiles =
+            (seq / p_.banksPerChannel) *
+            (p_.embeddingSize / p_.dramPageElems);
+        latency += p_.gwriteLatency *
+                   (p_.embeddingSize / p_.dramPageElems);
+        latency += p_.tileLatency * n_tiles;
+        // GEMV latency for Logits x Value.
+        n_tiles = ((p_.embeddingSize / p_.numHeads) /
+                   p_.banksPerChannel) *
+                  ((seq / p_.dramPageElems) * p_.numHeads);
+        latency += p_.gwriteLatency *
+                   ((seq / p_.dramPageElems) * p_.numHeads);
+        latency += p_.tileLatency * n_tiles;
+        return latency;
+    }
+
+  private:
+    MhaLatencyParams p_;
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_LATENCY_MODEL_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * An LLM inference request as tracked by the serving scheduler
+ * (paper Fig. 7: the request pool table rows).
+ */
+
+#ifndef NEUPIMS_RUNTIME_REQUEST_H_
+#define NEUPIMS_RUNTIME_REQUEST_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace neupims::runtime {
+
+enum class RequestStatus : std::uint8_t
+{
+    Waiting, ///< queued, not yet admitted to the batch
+    Running, ///< in the active batch, generating
+    Done,    ///< produced all output tokens
+};
+
+struct Request
+{
+    RequestId id = kInvalidId;
+    int inputLength = 1;      ///< prompt tokens
+    int outputLength = 1;     ///< tokens to generate
+    int generatedTokens = 0;  ///< tokens produced so far
+    ChannelId channel = kInvalidId; ///< PIM channel holding its KV cache
+    RequestStatus status = RequestStatus::Waiting;
+
+    /** Current KV-cache length: prompt plus generated tokens. */
+    int
+    currentSeqLen() const
+    {
+        return inputLength + generatedTokens;
+    }
+
+    bool
+    finished() const
+    {
+        return generatedTokens >= outputLength;
+    }
+
+    /** Advance one generation iteration (one token). */
+    void
+    advance()
+    {
+        ++generatedTokens;
+        if (finished())
+            status = RequestStatus::Done;
+    }
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_REQUEST_H_

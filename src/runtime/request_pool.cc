@@ -1,0 +1,83 @@
+#include "runtime/request_pool.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+RequestId
+RequestPool::submit(int input_length, int output_length)
+{
+    NEUPIMS_ASSERT(input_length >= 1 && output_length >= 1);
+    Request req;
+    req.id = static_cast<RequestId>(all_.size());
+    req.inputLength = input_length;
+    req.outputLength = output_length;
+    all_.push_back(req);
+    waiting_.push_back(req.id);
+    return req.id;
+}
+
+std::vector<RequestId>
+RequestPool::admit(std::size_t max_new)
+{
+    std::vector<RequestId> admitted;
+    while (admitted.size() < max_new && !waiting_.empty()) {
+        RequestId id = waiting_.front();
+        waiting_.pop_front();
+        all_[id].status = RequestStatus::Running;
+        running_.push_back(id);
+        admitted.push_back(id);
+    }
+    return admitted;
+}
+
+void
+RequestPool::requeue(RequestId id)
+{
+    auto it = std::find(running_.begin(), running_.end(), id);
+    NEUPIMS_ASSERT(it != running_.end(), "request not running: ", id);
+    running_.erase(it);
+    all_[id].status = RequestStatus::Waiting;
+    waiting_.push_front(id);
+}
+
+std::vector<Request *>
+RequestPool::runningRequests()
+{
+    std::vector<Request *> out;
+    out.reserve(running_.size());
+    for (RequestId id : running_)
+        out.push_back(&all_[id]);
+    return out;
+}
+
+std::vector<RequestId>
+RequestPool::completeIteration()
+{
+    std::vector<RequestId> retired;
+    for (RequestId id : running_) {
+        all_[id].advance();
+        ++totalTokens_;
+        if (all_[id].finished())
+            retired.push_back(id);
+    }
+    running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                  [this](RequestId id) {
+                                      return all_[id].finished();
+                                  }),
+                   running_.end());
+    completed_ += retired.size();
+    return retired;
+}
+
+Request &
+RequestPool::request(RequestId id)
+{
+    NEUPIMS_ASSERT(id >= 0 &&
+                   id < static_cast<RequestId>(all_.size()));
+    return all_[id];
+}
+
+} // namespace neupims::runtime

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The request pool table (paper Fig. 7 item 3): requests stream in,
+ * wait until an iteration boundary, run batched, and retire — the
+ * Orca-style iteration-level scheduling substrate NeuPIMs builds on.
+ */
+
+#ifndef NEUPIMS_RUNTIME_REQUEST_POOL_H_
+#define NEUPIMS_RUNTIME_REQUEST_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/request.h"
+
+namespace neupims::runtime {
+
+class RequestPool
+{
+  public:
+    /** Submit a new request; returns its id. */
+    RequestId submit(int input_length, int output_length);
+
+    /** Requests waiting for admission, FIFO order. */
+    std::size_t waitingCount() const { return waiting_.size(); }
+    std::size_t runningCount() const { return running_.size(); }
+    std::uint64_t completedCount() const { return completed_; }
+
+    /**
+     * Admit up to @p max_new waiting requests into the running batch.
+     * @return the admitted requests' ids.
+     */
+    std::vector<RequestId> admit(std::size_t max_new);
+
+    /**
+     * Undo an admission: move a just-admitted request back to the
+     * head of the waiting queue (used when no channel can host its
+     * KV cache this iteration).
+     */
+    void requeue(RequestId id);
+
+    /** Pointers to the running batch (stable for this iteration). */
+    std::vector<Request *> runningRequests();
+
+    /**
+     * Advance every running request by one generated token and retire
+     * the finished ones. @return ids of retired requests.
+     */
+    std::vector<RequestId> completeIteration();
+
+    Request &request(RequestId id);
+
+    std::uint64_t totalGeneratedTokens() const { return totalTokens_; }
+
+  private:
+    std::vector<Request> all_; ///< indexed by RequestId
+    std::deque<RequestId> waiting_;
+    std::vector<RequestId> running_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t totalTokens_ = 0;
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_REQUEST_POOL_H_

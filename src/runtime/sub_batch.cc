@@ -1,0 +1,48 @@
+#include "runtime/sub_batch.h"
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+SubBatches
+partitionSubBatches(const std::vector<std::vector<Request *>> &per_channel)
+{
+    SubBatches out;
+    out.sb1.resize(per_channel.size());
+    out.sb2.resize(per_channel.size());
+
+    // Algorithm 3: halve each channel's request list; when the count
+    // is odd, alternate (`turn`) which sub-batch gets the extra
+    // request so the totals stay within one of each other.
+    bool turn = true;
+    for (std::size_t ch = 0; ch < per_channel.size(); ++ch) {
+        const auto &reqs = per_channel[ch];
+        std::size_t bsize = reqs.size() / 2;
+        if (reqs.size() % 2 != 0) {
+            bsize = turn ? bsize + 1 : bsize;
+            turn = !turn;
+        }
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            if (i < bsize)
+                out.sb1[ch].push_back(reqs[i]);
+            else
+                out.sb2[ch].push_back(reqs[i]);
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<Request *>>
+groupByChannel(const std::vector<Request *> &requests, int channels)
+{
+    NEUPIMS_ASSERT(channels >= 1);
+    std::vector<std::vector<Request *>> grouped(channels);
+    for (Request *req : requests) {
+        NEUPIMS_ASSERT(req->channel >= 0 && req->channel < channels,
+                       "request ", req->id, " has no channel");
+        grouped[req->channel].push_back(req);
+    }
+    return grouped;
+}
+
+} // namespace neupims::runtime

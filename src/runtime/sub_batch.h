@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Algorithm 3: sub-batch partitioning.
+ *
+ * Sub-batch interleaving pipelines two independent sub-batches on one
+ * NeuPIMs device; the stage time is bound by the slower sub-batch, so
+ * the partitioner halves each channel's request set and alternates
+ * which sub-batch receives the odd request (the paper's `turn` flag),
+ * keeping both total batch size and per-channel PIM load balanced.
+ */
+
+#ifndef NEUPIMS_RUNTIME_SUB_BATCH_H_
+#define NEUPIMS_RUNTIME_SUB_BATCH_H_
+
+#include <vector>
+
+#include "runtime/request.h"
+
+namespace neupims::runtime {
+
+struct SubBatches
+{
+    /** Requests per channel for each sub-batch: [channel] -> list. */
+    std::vector<std::vector<Request *>> sb1;
+    std::vector<std::vector<Request *>> sb2;
+
+    int
+    sizeOf(const std::vector<std::vector<Request *>> &sb) const
+    {
+        int n = 0;
+        for (const auto &ch : sb)
+            n += static_cast<int>(ch.size());
+        return n;
+    }
+
+    int size1() const { return sizeOf(sb1); }
+    int size2() const { return sizeOf(sb2); }
+};
+
+/**
+ * Partition each channel's active request list into two sub-batches
+ * (Algorithm 3). Requests keep their channel assignment; only the
+ * sub-batch membership is decided here.
+ */
+SubBatches
+partitionSubBatches(const std::vector<std::vector<Request *>> &per_channel);
+
+/** Group a flat request list by its channel field. */
+std::vector<std::vector<Request *>>
+groupByChannel(const std::vector<Request *> &requests, int channels);
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_SUB_BATCH_H_

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.h"
+
+namespace neupims {
+namespace {
+
+TEST(EventQueue, StartsAtCycleZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleEventsRunInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleNewEvents)
+{
+    EventQueue eq;
+    int hits = 0;
+    std::function<void()> chain = [&] {
+        ++hits;
+        if (hits < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(hits, 5);
+    EXPECT_EQ(eq.now(), 28u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&] { ++hits; });
+    eq.schedule(100, [&] { ++hits; });
+    eq.run(50);
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    // The event beyond the limit is still pending.
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(1, [&] { ++hits; });
+    eq.schedule(2, [&] { ++hits; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(hits, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(hits, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_DEATH(eq.schedule(5, [] {}), "assertion");
+    });
+    eq.run();
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 10u);
+}
+
+TEST(EventQueue, NextEventCycleReportsEarliest)
+{
+    EventQueue eq;
+    eq.schedule(42, [] {});
+    eq.schedule(7, [] {});
+    EXPECT_EQ(eq.nextEventCycle(), 7u);
+}
+
+} // namespace
+} // namespace neupims

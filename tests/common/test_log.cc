@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for logging and the assertion macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace neupims {
+namespace {
+
+TEST(Log, MessageBuilderConcatenates)
+{
+    EXPECT_EQ(logMsg("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(logMsg(), "");
+}
+
+TEST(Log, LevelRoundTrips)
+{
+    auto saved = Log::level();
+    Log::setLevel(Log::Level::Silent);
+    EXPECT_EQ(Log::level(), Log::Level::Silent);
+    Log::setLevel(saved);
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom"), "boom");
+}
+
+TEST(LogDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LogDeathTest, AssertMacroFiresWithContext)
+{
+    int x = 3;
+    EXPECT_DEATH(NEUPIMS_ASSERT(x == 4, "x=", x), "x=3");
+}
+
+TEST(Log, AssertMacroPassesSilently)
+{
+    NEUPIMS_ASSERT(1 + 1 == 2);
+    NEUPIMS_ASSERT(true, "never printed");
+}
+
+} // namespace
+} // namespace neupims

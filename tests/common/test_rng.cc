@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG used in workload synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace neupims {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniformInt(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreStandard)
+{
+    Rng r(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianMatchesMu)
+{
+    Rng r(17);
+    const int n = 50001;
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = r.lognormal(std::log(100.0), 0.8);
+    std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+    // Median of lognormal(mu, sigma) is exp(mu).
+    EXPECT_NEAR(v[n / 2], 100.0, 5.0);
+}
+
+} // namespace
+} // namespace neupims

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit and property tests for the physical address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/address.h"
+
+namespace neupims::dram {
+namespace {
+
+class AddressMapTest : public ::testing::Test
+{
+  protected:
+    Organization org;
+    AddressMap map{org};
+};
+
+TEST_F(AddressMapTest, AddressZeroIsOrigin)
+{
+    Location loc = map.decode(0);
+    EXPECT_EQ(loc.channel, 0);
+    EXPECT_EQ(loc.bank, 0);
+    EXPECT_EQ(loc.row, 0);
+    EXPECT_EQ(loc.column, 0);
+}
+
+TEST_F(AddressMapTest, ConsecutiveBurstsShareARow)
+{
+    Location a = map.decode(0);
+    Location b = map.decode(org.burstBytes);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(b.column, a.column + 1);
+}
+
+TEST_F(AddressMapTest, ConsecutivePagesRotateChannels)
+{
+    // Page interleaving across channels engages the full device for
+    // streaming reads.
+    for (int p = 0; p < org.channels * 2; ++p) {
+        Location loc = map.decode(static_cast<Bytes>(p) * org.pageBytes);
+        EXPECT_EQ(loc.channel, p % org.channels);
+    }
+}
+
+TEST_F(AddressMapTest, ChannelStrideRotatesBanks)
+{
+    Bytes channel_stride = org.pageBytes * org.channels;
+    for (int i = 0; i < org.banksPerChannel * 2; ++i) {
+        Location loc = map.decode(static_cast<Bytes>(i) * channel_stride);
+        EXPECT_EQ(loc.channel, 0);
+        EXPECT_EQ(loc.bank, i % org.banksPerChannel);
+    }
+}
+
+TEST_F(AddressMapTest, RowsPerBankMatchesCapacity)
+{
+    // 1 GiB per channel / (1 KiB page x 32 banks) = 32768 rows.
+    EXPECT_EQ(map.rowsPerBank(), 32768);
+}
+
+class AddressRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(AddressRoundTrip, EncodeDecodeIsIdentity)
+{
+    Organization org;
+    AddressMap map(org);
+    Rng rng(GetParam());
+    for (int i = 0; i < 1000; ++i) {
+        Bytes addr =
+            (rng.next() % org.deviceCapacity()) / org.burstBytes *
+            org.burstBytes;
+        Location loc = map.decode(addr);
+        EXPECT_EQ(map.encode(loc), addr);
+        EXPECT_GE(loc.channel, 0);
+        EXPECT_LT(loc.channel, org.channels);
+        EXPECT_GE(loc.bank, 0);
+        EXPECT_LT(loc.bank, org.banksPerChannel);
+        EXPECT_GE(loc.row, 0);
+        EXPECT_LT(loc.row, map.rowsPerBank());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+} // namespace
+} // namespace neupims::dram

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Property sweeps for the memory controller: randomized mixed
+ * MEM/PIM workloads across controller configurations must satisfy
+ * the structural invariants — everything completes, per-bank
+ * completions are causally ordered, byte accounting matches the jobs
+ * issued, blocked mode never beats concurrent mode, and the
+ * composite interface never loses to the fine-grained one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "dram/controller.h"
+
+namespace neupims::dram {
+namespace {
+
+struct WorkloadResult
+{
+    Cycle makespan = 0;
+    int memCompleted = 0;
+    int pimCompleted = 0;
+    Bytes expectedReadBytes = 0;
+};
+
+/** Drive a reproducible random mix of row streams and PIM kernels. */
+WorkloadResult
+runMixedWorkload(std::uint64_t seed, bool dual, Cycle horizon,
+                 int mem_window, bool composite)
+{
+    EventQueue eq;
+    TimingParams t;
+    Organization org;
+    auto cfg = ControllerConfig::make(dual);
+    cfg.horizon = horizon;
+    cfg.memIssueWindow = mem_window;
+    MemoryController mc(eq, t, org, cfg);
+
+    Rng rng(seed);
+    WorkloadResult r;
+    int mem_jobs = 0, pim_jobs = 0;
+    for (int i = 0; i < 400; ++i) {
+        if (rng.uniform() < 0.8) {
+            MemJob job;
+            job.bank = static_cast<BankId>(
+                rng.uniformInt(0, org.banksPerChannel - 1));
+            job.row = static_cast<int>(rng.uniformInt(0, 63));
+            job.bursts = static_cast<int>(rng.uniformInt(1, 16));
+            job.write = rng.uniform() < 0.25;
+            if (!job.write)
+                r.expectedReadBytes +=
+                    static_cast<Bytes>(job.bursts) * org.burstBytes;
+            job.onComplete = [&r](Cycle c) {
+                ++r.memCompleted;
+                r.makespan = std::max(r.makespan, c);
+            };
+            mc.enqueueMem(std::move(job));
+            ++mem_jobs;
+        } else {
+            PimJob job;
+            job.rowTiles = static_cast<int>(rng.uniformInt(1, 96));
+            job.banksUsed = t.pimParallelBanks;
+            job.gwrites = static_cast<int>(rng.uniformInt(0, 3));
+            job.resultBursts = static_cast<int>(rng.uniformInt(1, 8));
+            job.composite = composite;
+            job.header = composite;
+            job.onComplete = [&r](Cycle c) {
+                ++r.pimCompleted;
+                r.makespan = std::max(r.makespan, c);
+            };
+            mc.enqueuePim(std::move(job));
+            ++pim_jobs;
+        }
+    }
+    eq.run();
+    EXPECT_TRUE(mc.idle());
+    EXPECT_EQ(r.memCompleted, mem_jobs);
+    EXPECT_EQ(r.pimCompleted, pim_jobs);
+    return r;
+}
+
+class MixedWorkload
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, bool, Cycle, int>>
+{};
+
+TEST_P(MixedWorkload, AllJobsCompleteUnderAnyConfiguration)
+{
+    auto [seed, dual, horizon, window] = GetParam();
+    auto r = runMixedWorkload(seed, dual, horizon, window, dual);
+    EXPECT_GT(r.makespan, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MixedWorkload,
+    ::testing::Combine(::testing::Values(101u, 202u, 303u),
+                       ::testing::Bool(),
+                       ::testing::Values<Cycle>(32, 256, 2048),
+                       ::testing::Values(1, 4, 8)));
+
+class SeedOnly : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SeedOnly, ConcurrentModeNeverSlowerThanBlocked)
+{
+    auto blocked =
+        runMixedWorkload(GetParam(), false, 256, 8, false);
+    auto dual = runMixedWorkload(GetParam(), true, 256, 8, true);
+    // Dual row buffers + composite commands strictly dominate on the
+    // same job mix (modulo a whisker of scheduling noise).
+    EXPECT_LT(dual.makespan,
+              blocked.makespan + blocked.makespan / 20);
+}
+
+TEST_P(SeedOnly, CompositeNeverSlowerThanFineGrained)
+{
+    auto fine = runMixedWorkload(GetParam(), true, 256, 8, false);
+    auto comp = runMixedWorkload(GetParam(), true, 256, 8, true);
+    EXPECT_LE(comp.makespan, fine.makespan + fine.makespan / 20);
+}
+
+TEST_P(SeedOnly, HorizonDoesNotChangeTotalWork)
+{
+    // The horizon bounds reservation lookahead; it must not change
+    // how much work completes, and makespans should stay close.
+    auto near = runMixedWorkload(GetParam(), true, 32, 8, true);
+    auto far = runMixedWorkload(GetParam(), true, 4096, 8, true);
+    EXPECT_EQ(near.memCompleted, far.memCompleted);
+    EXPECT_EQ(near.pimCompleted, far.pimCompleted);
+    double ratio = static_cast<double>(near.makespan) /
+                   static_cast<double>(far.makespan);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.18);
+}
+
+TEST_P(SeedOnly, DeeperIssueWindowHelpsOrTies)
+{
+    auto shallow = runMixedWorkload(GetParam(), true, 256, 1, true);
+    auto deep = runMixedWorkload(GetParam(), true, 256, 8, true);
+    EXPECT_LE(deep.makespan,
+              shallow.makespan + shallow.makespan / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedOnly,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+TEST(ControllerRefresh, RefreshRateTracksElapsedTime)
+{
+    EventQueue eq;
+    TimingParams t;
+    Organization org;
+    MemoryController mc(eq, t, org, ControllerConfig::make(true));
+    Cycle last = 0;
+    for (int i = 0; i < 6000; ++i) {
+        MemJob job;
+        job.bank = i % org.banksPerChannel;
+        job.row = i / org.banksPerChannel;
+        job.bursts = 16;
+        job.onComplete = [&last](Cycle c) {
+            last = std::max(last, c);
+        };
+        mc.enqueueMem(std::move(job));
+    }
+    eq.run();
+    auto refs = mc.channel().commandCounts().count(CommandType::Ref);
+    double expected = static_cast<double>(last) / t.tREFI;
+    EXPECT_NEAR(static_cast<double>(refs), expected, expected * 0.25 + 2);
+}
+
+TEST(ControllerRefresh, HeaderedKernelsDeferNoMoreThanBudget)
+{
+    // A kernel spanning many tREFI intervals may postpone at most 8
+    // refreshes; afterwards the controller catches up.
+    EventQueue eq;
+    TimingParams t;
+    Organization org;
+    MemoryController mc(eq, t, org, ControllerConfig::make(true));
+    Cycle done = 0;
+    PimJob job;
+    job.rowTiles = 3000; // ~ tens of tREFI long at 8 banks
+    job.banksUsed = t.pimParallelBanks;
+    job.gwrites = 1;
+    job.resultBursts = 2;
+    job.composite = true;
+    job.header = true;
+    job.onComplete = [&](Cycle c) { done = c; };
+    mc.enqueuePim(std::move(job));
+    eq.run();
+    auto refs = mc.channel().commandCounts().count(CommandType::Ref);
+    double intervals = static_cast<double>(done) / t.tREFI;
+    // All but the postponed budget must have been issued.
+    EXPECT_GE(static_cast<double>(refs), intervals - 9.0);
+}
+
+} // namespace
+} // namespace neupims::dram

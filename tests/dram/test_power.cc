@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the Micron-style power model (Table 5 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/power_model.h"
+
+namespace neupims::dram {
+namespace {
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    PowerParams p;
+    TimingParams t;
+    PowerModel model{p, t};
+};
+
+TEST_F(PowerModelTest, IdleChannelDrawsOnlyBackground)
+{
+    ChannelActivity a;
+    a.windowCycles = 1'000'000;
+    EXPECT_DOUBLE_EQ(model.averagePowerMw(a), p.backgroundMw);
+}
+
+TEST_F(PowerModelTest, DualBufferRaisesBackground)
+{
+    ChannelActivity a;
+    a.windowCycles = 1'000'000;
+    a.dualRowBuffers = true;
+    EXPECT_DOUBLE_EQ(model.averagePowerMw(a),
+                     p.backgroundMw + p.dualBufferBackgroundMw);
+}
+
+TEST_F(PowerModelTest, ZeroWindowIsZeroPower)
+{
+    ChannelActivity a;
+    EXPECT_DOUBLE_EQ(model.averagePowerMw(a), 0.0);
+}
+
+TEST_F(PowerModelTest, ReadsAddEnergyLinearly)
+{
+    ChannelActivity a;
+    a.windowCycles = 1000;
+    a.counts.record(CommandType::Rd);
+    double one = model.energyPj(a);
+    a.counts.record(CommandType::Rd);
+    double two = model.energyPj(a);
+    EXPECT_DOUBLE_EQ(two, 2 * one);
+    EXPECT_DOUBLE_EQ(one, p.readBurstPj);
+}
+
+TEST_F(PowerModelTest, GroupedPimActivationChargesFourRows)
+{
+    ChannelActivity a;
+    a.windowCycles = 1000;
+    a.counts.record(CommandType::PimActivate);
+    // Keep the implicit-row term silent by matching busy cycles.
+    a.pimBankBusyCycles = 4 * t.pimComputePerRow;
+    double e = model.energyPj(a);
+    // 4 activations plus the 4x-read-power compute on 4 rows.
+    double compute = 4.0 * t.pimComputePerRow *
+                     (p.readBurstPj / t.tBL) * p.pimComputeFactor /
+                     p.pimArrayEnergyDivisor;
+    EXPECT_NEAR(e, 4 * p.actPrePj + compute, 1e-9);
+}
+
+TEST_F(PowerModelTest, CompositeRoundsChargeImplicitActivations)
+{
+    // A composite kernel reports bank-busy cycles with no explicit
+    // PIM_ACTIVATE commands; the model must still charge row opens.
+    ChannelActivity a;
+    a.windowCycles = 100'000;
+    a.pimBankBusyCycles = 64 * t.pimComputePerRow; // 64 implicit rows
+    double e = model.energyPj(a);
+    EXPECT_GT(e, 64 * p.actPrePj); // at least the activation energy
+}
+
+TEST_F(PowerModelTest, PimComputeCostsMoreThanSameTimeReads)
+{
+    // Paper: all-bank compute draws 4x read power.
+    ChannelActivity pim;
+    pim.windowCycles = 10'000;
+    pim.pimBankBusyCycles = 1600;
+
+    ChannelActivity rd;
+    rd.windowCycles = 10'000;
+    // 1600 cycles of read bursts at tBL cycles each, I/O energy only.
+    for (int i = 0; i < 1600 / static_cast<int>(t.tBL); ++i)
+        rd.counts.record(CommandType::Rd);
+
+    // Strip the implicit activation charge for an apples-to-apples
+    // compute-vs-IO comparison.
+    double compute_only =
+        model.energyPj(pim) -
+        (1600.0 / t.pimComputePerRow) * p.actPrePj;
+    double read_only = model.energyPj(rd);
+    EXPECT_NEAR(compute_only / read_only,
+                p.pimComputeFactor / p.pimArrayEnergyDivisor, 1e-6);
+}
+
+TEST_F(PowerModelTest, RefreshEnergyCounted)
+{
+    ChannelActivity a;
+    a.windowCycles = 1000;
+    a.counts.record(CommandType::Ref);
+    EXPECT_DOUBLE_EQ(model.energyPj(a), p.refreshPj);
+}
+
+} // namespace
+} // namespace neupims::dram

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the compiler: GEMM plans, per-request PIM kernels,
+ * Algorithm-1 consistency and KV traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/compiler.h"
+#include "runtime/latency_model.h"
+
+namespace neupims::model {
+namespace {
+
+class CompilerTest : public ::testing::Test
+{
+  protected:
+    CompilerTest() : compiler(cfg, 4, mem) {}
+
+    LlmConfig cfg = gpt3_30b();
+    MemShape mem; // 32 channels, 32 banks, 1 KB pages
+    Compiler compiler;
+};
+
+TEST_F(CompilerTest, FourGemmsWithExpectedShapes)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {100, 200};
+    auto plan = compiler.compileLayer(lens);
+    ASSERT_EQ(plan.gemms.size(), 4u);
+    EXPECT_EQ(plan.batch, 2);
+    // QKV: [B, d] x [d, 3 d/tp]
+    EXPECT_EQ(plan.gemms[0].shape.m, 2);
+    EXPECT_EQ(plan.gemms[0].shape.k, 7168);
+    EXPECT_EQ(plan.gemms[0].shape.n, 3 * 1792);
+    // FFN up: [B, d] x [d, 4d/tp]
+    EXPECT_EQ(plan.gemms[2].shape.n, 4 * 7168 / 4);
+}
+
+TEST_F(CompilerTest, WeightBytesMatchModelConfig)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[3] = {50};
+    auto plan = compiler.compileLayer(lens);
+    EXPECT_EQ(plan.gemmWeightBytes(), cfg.weightBytesPerLayer(4));
+}
+
+TEST_F(CompilerTest, LogitTilesMatchAlgorithmOneNumerator)
+{
+    // Algorithm 1 line 2: tiles = (seq/B_chnl) * (E/P_DRAM) over the
+    // channel's banks; our rowTiles is the same product expressed in
+    // bank-rows: seq * E * 2B / pageBytes.
+    int seq = 512;
+    int tiles = compiler.logitRowTiles(seq);
+    EXPECT_EQ(tiles, static_cast<int>(512LL * 1792 * 2 / 1024));
+    EXPECT_EQ(compiler.attendRowTiles(seq), tiles);
+}
+
+TEST_F(CompilerTest, RaggedSequenceRoundsUp)
+{
+    EXPECT_EQ(compiler.logitRowTiles(1),
+              static_cast<int>((1792 * 2 + 1023) / 1024));
+}
+
+TEST_F(CompilerTest, PerRequestWorkMatchesChannelAggregate)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[2] = {64, 128, 256};
+    auto plan = compiler.compileLayer(lens);
+    const auto &agg = plan.mha.logit[2];
+    int tiles = 0, gwrites = 0, bursts = 0;
+    std::uint64_t elems = 0;
+    for (const auto &req : plan.mha.requests[2]) {
+        tiles += req.logit.rowTiles;
+        gwrites += req.logit.gwrites;
+        bursts += req.logit.resultBursts;
+        elems += req.softmaxElems;
+    }
+    EXPECT_EQ(tiles, agg.rowTiles);
+    EXPECT_EQ(gwrites, agg.gwrites);
+    EXPECT_EQ(bursts, agg.resultBursts);
+    EXPECT_EQ(elems, agg.softmaxElems);
+}
+
+TEST_F(CompilerTest, SoftmaxElemsAreSeqTimesHeads)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {100};
+    auto plan = compiler.compileLayer(lens);
+    // 14 heads per device under TP=4.
+    EXPECT_EQ(plan.mha.totalSoftmaxElems, 100u * 14);
+}
+
+TEST_F(CompilerTest, KvAppendBytesPerChannel)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[4] = {10, 20};
+    lens[9] = {30};
+    auto plan = compiler.compileLayer(lens);
+    EXPECT_EQ(plan.mha.kvAppendBytes[4],
+              2 * cfg.kvBytesPerTokenPerLayer(4));
+    EXPECT_EQ(plan.mha.kvAppendBytes[9],
+              cfg.kvBytesPerTokenPerLayer(4));
+    EXPECT_EQ(plan.mha.kvAppendBytes[0], 0u);
+}
+
+TEST_F(CompilerTest, KvReadBytesCoverKAndV)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {128};
+    auto plan = compiler.compileLayer(lens);
+    EXPECT_EQ(plan.mha.kvReadBytes,
+              static_cast<Bytes>(2) * 128 * 1792 * 2);
+    EXPECT_DOUBLE_EQ(plan.mha.flops(),
+                     2.0 * static_cast<double>(plan.mha.kvReadBytes));
+}
+
+TEST_F(CompilerTest, EstimatorTracksCompiledTiles)
+{
+    // Algorithm 1's estimate must scale with the compiled tile count:
+    // doubling the sequence doubles both.
+    runtime::MhaLatencyParams params;
+    params.embeddingSize = 1792;
+    params.banksPerChannel = 32;
+    params.dramPageElems = 512;
+    params.numHeads = 14;
+    runtime::MhaLatencyEstimator est(params);
+    double l1 = est.estimate(256);
+    double l2 = est.estimate(512);
+    int t1 = compiler.logitRowTiles(256);
+    int t2 = compiler.logitRowTiles(512);
+    EXPECT_NEAR(l2 / l1, static_cast<double>(t2) / t1, 0.2);
+}
+
+TEST_F(CompilerTest, VectorElemsCoverNormsAndResiduals)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {10, 10, 10};
+    auto plan = compiler.compileLayer(lens);
+    EXPECT_EQ(plan.vectorElems, 3u * 7168 * 4);
+}
+
+TEST(CompilerDeathTest, EmptyBatchPanics)
+{
+    MemShape mem;
+    Compiler compiler(gpt3_7b(), 4, mem);
+    std::vector<std::vector<int>> lens(32);
+    EXPECT_DEATH((void)compiler.compileLayer(lens), "empty batch");
+}
+
+TEST(CompilerDeathTest, BadTpPanics)
+{
+    MemShape mem;
+    EXPECT_DEATH(Compiler(gpt3_30b(), 5, mem), "tensor parallelism");
+}
+
+} // namespace
+} // namespace neupims::model

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for decoder-block operator construction: shapes, FLOP
+ * totals and phase differences (Fig. 2/3 structure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/decoder_block.h"
+
+namespace neupims::model {
+namespace {
+
+class DecoderBlockTest : public ::testing::Test
+{
+  protected:
+    LlmConfig cfg = gpt3_13b();
+};
+
+TEST_F(DecoderBlockTest, GenerationOpsStructureAndOrder)
+{
+    auto ops = buildDecoderOps(cfg, 1, 8, Phase::Generation, 100);
+    // LN, QKV, Logit, Softmax, Attend, Proj, Residual, LN, FFN up,
+    // FFN down, Residual.
+    ASSERT_EQ(ops.size(), 11u);
+    EXPECT_EQ(ops[1].kind, OpKind::QkvGeneration);
+    EXPECT_EQ(ops[2].kind, OpKind::Logit);
+    EXPECT_EQ(ops[3].kind, OpKind::Softmax);
+    EXPECT_EQ(ops[4].kind, OpKind::Attend);
+    EXPECT_EQ(ops[5].kind, OpKind::Projection);
+    EXPECT_EQ(ops[8].kind, OpKind::FfnUp);
+    EXPECT_EQ(ops[9].kind, OpKind::FfnDown);
+}
+
+TEST_F(DecoderBlockTest, GenerationGemmRowsEqualBatch)
+{
+    auto ops = buildDecoderOps(cfg, 1, 32, Phase::Generation, 100);
+    EXPECT_EQ(ops[1].m, 32);
+    EXPECT_EQ(ops[1].k, cfg.dModel);
+    EXPECT_EQ(ops[1].n, 3 * cfg.dModel);
+}
+
+TEST_F(DecoderBlockTest, SummarizationGemmRowsScaleWithPrompt)
+{
+    auto ops = buildDecoderOps(cfg, 1, 4, Phase::Summarization, 64);
+    EXPECT_EQ(ops[1].m, 4 * 64);
+}
+
+TEST_F(DecoderBlockTest, GemvOpsArePerRequest)
+{
+    auto ops = buildDecoderOps(cfg, 1, 8, Phase::Generation, 100);
+    EXPECT_TRUE(ops[2].perRequest);
+    EXPECT_TRUE(ops[4].perRequest);
+    EXPECT_FALSE(ops[1].perRequest);
+}
+
+TEST_F(DecoderBlockTest, TensorParallelShrinksDeviceShapes)
+{
+    auto full = buildDecoderOps(cfg, 1, 8, Phase::Generation, 100);
+    auto tp4 = buildDecoderOps(cfg, 4, 8, Phase::Generation, 100);
+    EXPECT_EQ(tp4[1].n, full[1].n / 4); // QKV output sharded
+    EXPECT_EQ(tp4[5].k, full[5].k / 4); // projection input sharded
+}
+
+TEST_F(DecoderBlockTest, FlopsDominatedByGemmsAtLargeBatch)
+{
+    auto ops = buildDecoderOps(cfg, 1, 256, Phase::Generation, 100);
+    Flops gemm = 0, gemv = 0;
+    for (const auto &op : ops) {
+        if (isGemmOp(op.kind))
+            gemm += op.flops();
+        if (isGemvOp(op.kind))
+            gemv += op.flops() * 256; // per request
+    }
+    EXPECT_GT(gemm, gemv);
+}
+
+TEST_F(DecoderBlockTest, GemvBytesGrowWithContext)
+{
+    auto short_ctx = buildDecoderOps(cfg, 1, 8, Phase::Generation, 64);
+    auto long_ctx = buildDecoderOps(cfg, 1, 8, Phase::Generation, 512);
+    EXPECT_EQ(long_ctx[2].streamBytes(), short_ctx[2].streamBytes() * 8);
+    // Weight GEMMs are context-independent.
+    EXPECT_EQ(long_ctx[1].streamBytes(), short_ctx[1].streamBytes());
+}
+
+TEST_F(DecoderBlockTest, BlockFlopsMatchesClosedForm)
+{
+    // Generation block GEMM flops = 2 * batch * 12 d^2 (per device).
+    const int batch = 16;
+    auto ops = buildDecoderOps(cfg, 1, batch, Phase::Generation, 100);
+    Flops gemm = 0;
+    for (const auto &op : ops) {
+        if (isGemmOp(op.kind))
+            gemm += op.flops();
+    }
+    EXPECT_DOUBLE_EQ(gemm, 2.0 * batch * 12 *
+                               static_cast<double>(cfg.dModel) *
+                               static_cast<double>(cfg.dModel));
+}
+
+TEST_F(DecoderBlockTest, StreamBytesIncludeWeightsOnce)
+{
+    auto ops = buildDecoderOps(cfg, 1, 64, Phase::Generation, 100);
+    Bytes weights = 0;
+    for (const auto &op : ops) {
+        if (isGemmOp(op.kind))
+            weights += op.streamBytes();
+    }
+    EXPECT_EQ(weights, cfg.weightBytesPerLayer(1));
+}
+
+TEST(DecoderBlockDeathTest, InvalidTpPanics)
+{
+    auto cfg = gpt3_13b(); // 40 heads
+    EXPECT_DEATH(
+        (void)buildDecoderOps(cfg, 3, 8, Phase::Generation, 100),
+        "heads");
+}
+
+TEST(DecoderBlockOps, NamesAreStable)
+{
+    EXPECT_EQ(opName(OpKind::QkvGeneration), "qkv_generation");
+    EXPECT_EQ(opName(OpKind::Attend), "attend");
+    EXPECT_EQ(opName(OpKind::FfnDown), "ffn_down");
+}
+
+} // namespace
+} // namespace neupims::model

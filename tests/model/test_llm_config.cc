@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Table-3 model configurations and their shape
+ * arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/llm_config.h"
+
+namespace neupims::model {
+namespace {
+
+TEST(LlmConfig, Table3Values)
+{
+    auto m = gpt3_175b();
+    EXPECT_EQ(m.numLayers, 96);
+    EXPECT_EQ(m.numHeads, 96);
+    EXPECT_EQ(m.dModel, 12288);
+    EXPECT_EQ(m.defaultTp, 8);
+    EXPECT_EQ(m.defaultPp, 4);
+}
+
+TEST(LlmConfig, ParameterCountsMatchModelNames)
+{
+    // 12 d^2 per layer x layers should land near the nameplate size.
+    EXPECT_NEAR(static_cast<double>(gpt3_7b().totalParams()), 6.4e9,
+                0.8e9);
+    EXPECT_NEAR(static_cast<double>(gpt3_13b().totalParams()), 12.6e9,
+                1.5e9);
+    EXPECT_NEAR(static_cast<double>(gpt3_30b().totalParams()), 29.6e9,
+                3e9);
+    EXPECT_NEAR(static_cast<double>(gpt3_175b().totalParams()), 174e9,
+                15e9);
+}
+
+TEST(LlmConfig, HeadDimIs128Everywhere)
+{
+    for (const auto &m : allGpt3Models())
+        EXPECT_EQ(m.headDim(), 128) << m.name;
+}
+
+TEST(LlmConfig, TensorParallelSharding)
+{
+    auto m = gpt3_30b();
+    EXPECT_EQ(m.headsPerDevice(4), 14);
+    EXPECT_EQ(m.dModelPerDevice(4), 1792);
+    EXPECT_EQ(m.weightBytesPerLayer(4),
+              static_cast<Bytes>(12) * 7168 * 7168 * 2 / 4);
+}
+
+TEST(LlmConfig, PipelineShardsLayers)
+{
+    auto m = gpt3_175b();
+    EXPECT_EQ(m.layersPerDevice(4), 24);
+    EXPECT_EQ(m.layersPerDevice(1), 96);
+}
+
+TEST(LlmConfig, KvBytesPerToken)
+{
+    auto m = gpt3_13b();
+    // K + V, fp16, sharded by tp.
+    EXPECT_EQ(m.kvBytesPerTokenPerLayer(1),
+              static_cast<Bytes>(2) * 5120 * 2);
+    EXPECT_EQ(m.kvBytesPerTokenPerLayer(4),
+              static_cast<Bytes>(2) * 1280 * 2);
+}
+
+TEST(LlmConfig, DefaultTpDividesHeads)
+{
+    for (const auto &m : allGpt3Models()) {
+        EXPECT_EQ(m.numHeads % m.defaultTp, 0) << m.name;
+        EXPECT_EQ(m.numLayers % m.defaultPp, 0) << m.name;
+    }
+}
+
+TEST(LlmConfig, LookupByNameRoundTrips)
+{
+    EXPECT_EQ(modelByName("GPT3-30B").dModel, 7168);
+    EXPECT_EQ(modelByName("LLaMa2").numLayers, 40);
+}
+
+TEST(LlmConfigDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)modelByName("GPT5"),
+                ::testing::ExitedWithCode(1), "unknown model");
+}
+
+TEST(LlmConfig, Figure5ModelsPresent)
+{
+    EXPECT_EQ(figure5Models().size(), 4u);
+}
+
+} // namespace
+} // namespace neupims::model

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Integration tests of the DMA stream engine against the HBM stack:
+ * traffic spreading, completion semantics and byte accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/dma.h"
+
+namespace neupims::npu {
+namespace {
+
+class DmaTest : public ::testing::Test
+{
+  protected:
+    DmaTest() : hbm(eq, cfg), dma(eq, hbm) {}
+
+    EventQueue eq;
+    dram::MemConfig cfg; // defaults: 32 channels, dual row buffers
+    dram::HbmStack hbm;
+    DmaEngine dma;
+};
+
+TEST_F(DmaTest, StreamSpreadsAcrossAllChannels)
+{
+    const Bytes total = 1_MiB;
+    Cycle done = 0;
+    dma.streamAllChannels(total, false, 16,
+                          [&](Cycle c) { done = c; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(dma.issuedBytes(), total);
+    // Every channel moved an equal share (1 MiB divides evenly).
+    for (ChannelId ch = 0; ch < hbm.numChannels(); ++ch) {
+        EXPECT_EQ(hbm.controller(ch).channel().dataBusBytes(),
+                  total / hbm.numChannels());
+    }
+}
+
+TEST_F(DmaTest, ZeroByteStreamCompletesImmediately)
+{
+    bool fired = false;
+    dma.streamAllChannels(0, false, 16, [&](Cycle) { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST_F(DmaTest, SingleChannelStreamTouchesOnlyThatChannel)
+{
+    Cycle done = 0;
+    dma.streamChannel(5, 64_KiB, false, 16, [&](Cycle c) { done = c; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    for (ChannelId ch = 0; ch < hbm.numChannels(); ++ch) {
+        EXPECT_EQ(hbm.controller(ch).channel().dataBusBytes(),
+                  ch == 5 ? 64_KiB : 0u);
+    }
+}
+
+TEST_F(DmaTest, PerChannelAmountsHonored)
+{
+    std::vector<Bytes> bytes(hbm.numChannels(), 0);
+    bytes[0] = 4096;
+    bytes[7] = 8192;
+    Cycle done = 0;
+    dma.streamPerChannel(bytes, true, 16, [&](Cycle c) { done = c; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(hbm.controller(0).channel().dataBusBytes(), 4096u);
+    EXPECT_EQ(hbm.controller(7).channel().dataBusBytes(), 8192u);
+    EXPECT_EQ(hbm.controller(1).channel().dataBusBytes(), 0u);
+}
+
+TEST_F(DmaTest, WritesIssueWriteCommands)
+{
+    dma.streamChannel(0, 16_KiB, true, 16, [](Cycle) {});
+    eq.run();
+    const auto &counts = hbm.controller(0).channel().commandCounts();
+    EXPECT_GT(counts.count(dram::CommandType::Wr), 0u);
+    EXPECT_EQ(counts.count(dram::CommandType::Rd), 0u);
+}
+
+TEST_F(DmaTest, ShortBurstsRaiseActivationShare)
+{
+    // The GEMV-style short-burst stream needs ~8x the activations of
+    // a full-row stream for the same bytes.
+    dma.streamChannel(1, 64_KiB, false, 16, [](Cycle) {});
+    dma.streamChannel(2, 64_KiB, false, 2, [](Cycle) {});
+    eq.run();
+    auto full = hbm.controller(1).channel().commandCounts().count(
+        dram::CommandType::Act);
+    auto strided = hbm.controller(2).channel().commandCounts().count(
+        dram::CommandType::Act);
+    EXPECT_EQ(strided, full * 8);
+}
+
+TEST_F(DmaTest, ShortBurstsFinishLaterForSameBytes)
+{
+    Cycle full_done = 0, strided_done = 0;
+    dma.streamChannel(1, 256_KiB, false, 16,
+                      [&](Cycle c) { full_done = c; });
+    dma.streamChannel(2, 256_KiB, false, 2,
+                      [&](Cycle c) { strided_done = c; });
+    eq.run();
+    // Same bytes, same independent channels: the strided stream is
+    // activation-bound and clearly slower (why NPU-side attention
+    // under-uses bandwidth, §2.1).
+    EXPECT_GT(strided_done, full_done * 2);
+}
+
+TEST_F(DmaTest, BackToBackStreamsBothComplete)
+{
+    int fired = 0;
+    dma.streamAllChannels(256_KiB, false, 16, [&](Cycle) { ++fired; });
+    dma.streamAllChannels(256_KiB, false, 16, [&](Cycle) { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(dma.issuedBytes(), 512_KiB);
+}
+
+TEST_F(DmaTest, RemainderBytesRideChannelZero)
+{
+    // A stream that is not a multiple of the channel count still
+    // delivers every byte.
+    const Bytes total = 32 * 1024 + 100;
+    dma.streamAllChannels(total, false, 16, [](Cycle) {});
+    eq.run();
+    EXPECT_EQ(dma.issuedBytes(), total);
+    Bytes sum = 0;
+    for (ChannelId ch = 0; ch < hbm.numChannels(); ++ch)
+        sum += hbm.controller(ch).channel().dataBusBytes();
+    // The data bus moves whole 64 B bursts, so the tail rounds up.
+    EXPECT_GE(sum, total);
+    EXPECT_LT(sum - total, cfg.org.burstBytes);
+}
+
+} // namespace
+} // namespace neupims::npu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the scratchpad capacity model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/scratchpad.h"
+
+namespace neupims::npu {
+namespace {
+
+TEST(Scratchpad, WeightTileBytesAccountDoubleBuffering)
+{
+    SystolicArrayConfig sa;
+    Scratchpad spm(32_MiB, sa, 8);
+    // 8 arrays x 128x128 fp16 x 2 (double buffer) = 1 MiB.
+    EXPECT_EQ(spm.weightTileBytes(),
+              8u * 128 * 128 * 2 * 2);
+}
+
+TEST(Scratchpad, PanelRowsShrinkWithWiderActivations)
+{
+    SystolicArrayConfig sa;
+    Scratchpad spm(32_MiB, sa, 8);
+    auto narrow = spm.maxPanelRows(1024, 1024);
+    auto wide = spm.maxPanelRows(12288, 12288);
+    EXPECT_GT(narrow, wide);
+    EXPECT_GT(wide, 0);
+}
+
+TEST(Scratchpad, FitsMatchesPanelRows)
+{
+    SystolicArrayConfig sa;
+    Scratchpad spm(32_MiB, sa, 8);
+    std::int64_t rows = spm.maxPanelRows(4096, 4096);
+    EXPECT_TRUE(spm.fits(GemmShape{rows, 4096, 4096}));
+    EXPECT_FALSE(spm.fits(GemmShape{rows + 1, 4096, 4096}));
+}
+
+TEST(Scratchpad, TinySpmHoldsNothing)
+{
+    SystolicArrayConfig sa;
+    Scratchpad spm(64_KiB, sa, 8); // smaller than one tile set
+    EXPECT_EQ(spm.maxPanelRows(4096, 4096), 0);
+    EXPECT_FALSE(spm.fits(GemmShape{1, 4096, 4096}));
+}
+
+TEST(Scratchpad, BatchedGemmPanelsFitTypicalShapes)
+{
+    // The headline configuration: batch-256 panels of GPT3-30B shapes
+    // fit the 32 MiB scratchpad.
+    SystolicArrayConfig sa;
+    Scratchpad spm(32_MiB, sa, 8);
+    EXPECT_TRUE(spm.fits(GemmShape{256, 7168, 7168 / 4}));
+}
+
+} // namespace
+} // namespace neupims::npu

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the systolic-array GEMM cycle model: tiling math,
+ * the small-M efficiency cliff the paper's SBI trade-off rests on,
+ * and pool partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "npu/systolic_array.h"
+
+namespace neupims::npu {
+namespace {
+
+class SystolicArrayTest : public ::testing::Test
+{
+  protected:
+    SystolicArrayConfig cfg;
+    SystolicArray sa{cfg};
+};
+
+TEST_F(SystolicArrayTest, SingleTilePassCost)
+{
+    // One 128x128 weight tile, M=128: one pass of 128 cycles plus the
+    // fill/drain pipeline.
+    GemmShape shape{128, 128, 128};
+    EXPECT_EQ(sa.gemmCycles(shape), 128u + 128 + 128);
+}
+
+TEST_F(SystolicArrayTest, SmallMPaysFullPassCost)
+{
+    // The weight load bounds a pass from below: M=16 costs the same
+    // as M=128 (the SBI small-batch penalty).
+    GemmShape small{16, 128, 128};
+    GemmShape full{128, 128, 128};
+    EXPECT_EQ(sa.gemmCycles(small), sa.gemmCycles(full));
+}
+
+TEST_F(SystolicArrayTest, LargeMAmortizesWeights)
+{
+    GemmShape shape{1024, 128, 128};
+    EXPECT_EQ(sa.gemmCycles(shape), 1024u + 256);
+    EXPECT_GT(sa.efficiency(shape), 0.75);
+}
+
+TEST_F(SystolicArrayTest, TileCountsMultiply)
+{
+    // 2x3 weight tiles at M=256: six passes.
+    GemmShape shape{256, 256, 384};
+    EXPECT_EQ(sa.gemmCycles(shape), 6 * 256u + 256);
+}
+
+TEST_F(SystolicArrayTest, RaggedShapesRoundUpTiles)
+{
+    GemmShape ragged{256, 129, 129}; // 2x2 tiles, mostly padding
+    GemmShape exact{256, 256, 256};
+    EXPECT_EQ(sa.gemmCycles(ragged), sa.gemmCycles(exact));
+}
+
+TEST_F(SystolicArrayTest, EfficiencyBelowOne)
+{
+    for (std::int64_t m : {1, 32, 128, 512, 4096}) {
+        GemmShape shape{m, 4096, 4096};
+        double e = sa.efficiency(shape);
+        EXPECT_GT(e, 0.0);
+        EXPECT_LE(e, 1.0) << "m=" << m;
+    }
+}
+
+TEST_F(SystolicArrayTest, EfficiencyMonotonicInM)
+{
+    double prev = 0.0;
+    for (std::int64_t m : {16, 64, 128, 256, 1024}) {
+        double e = sa.efficiency(GemmShape{m, 4096, 4096});
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+}
+
+TEST_F(SystolicArrayTest, FlopsAndWeightBytes)
+{
+    GemmShape shape{8, 16, 32};
+    EXPECT_DOUBLE_EQ(shape.flops(), 2.0 * 8 * 16 * 32);
+    EXPECT_EQ(shape.weightBytes(), 16u * 32 * 2);
+}
+
+TEST(SystolicArrayPool, SplitsTileColumnsAcrossArrays)
+{
+    SystolicArrayConfig cfg;
+    SystolicArrayPool pool(cfg, 8);
+    // 64 tile columns over 8 arrays: 8 columns each.
+    GemmShape shape{256, 1024, 8192};
+    SystolicArray one(cfg);
+    GemmShape shard{256, 1024, 1024};
+    EXPECT_EQ(pool.gemmCycles(shape), one.gemmCycles(shard));
+}
+
+TEST(SystolicArrayPool, UnevenSplitBoundByLargestShard)
+{
+    SystolicArrayConfig cfg;
+    SystolicArrayPool pool(cfg, 8);
+    // 9 tile columns over 8 arrays: one array takes 2 columns.
+    GemmShape shape{256, 128, 9 * 128};
+    SystolicArray one(cfg);
+    EXPECT_EQ(pool.gemmCycles(shape),
+              one.gemmCycles(GemmShape{256, 128, 2 * 128}));
+}
+
+TEST(SystolicArrayPool, PeakFlopsScalesWithCount)
+{
+    SystolicArrayConfig cfg;
+    EXPECT_DOUBLE_EQ(SystolicArrayPool(cfg, 8).peakFlopsPerCycle(),
+                     8.0 * 2 * 128 * 128);
+}
+
+TEST(SystolicArrayPool, NarrowGemmLeavesArraysIdle)
+{
+    // N=128: a single tile column, seven arrays idle — why TP-sharded
+    // GEMMs with tiny N lose efficiency (§7).
+    SystolicArrayConfig cfg;
+    SystolicArrayPool pool(cfg, 8);
+    SystolicArray one(cfg);
+    GemmShape narrow{512, 4096, 128};
+    EXPECT_EQ(pool.gemmCycles(narrow), one.gemmCycles(narrow));
+}
+
+/** Property: pool never slower than one array, never faster than 8x. */
+class PoolSpeedup
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(PoolSpeedup, WithinLinearScaling)
+{
+    auto [m, k, n] = GetParam();
+    SystolicArrayConfig cfg;
+    SystolicArray one(cfg);
+    SystolicArrayPool pool(cfg, 8);
+    GemmShape shape{m, k, n};
+    Cycle single = one.gemmCycles(shape);
+    Cycle pooled = pool.gemmCycles(shape);
+    EXPECT_LE(pooled, single);
+    EXPECT_GE(pooled * 8 + 8 * 256, single); // fill/drain slack
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PoolSpeedup,
+    ::testing::Combine(::testing::Values(32, 256, 1024),
+                       ::testing::Values(128, 4096),
+                       ::testing::Values(128, 1024, 12288)));
+
+} // namespace
+} // namespace neupims::npu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the vector-unit cycle model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "npu/vector_unit.h"
+
+namespace neupims::npu {
+namespace {
+
+class VectorUnitTest : public ::testing::Test
+{
+  protected:
+    VectorUnitConfig cfg;
+    VectorUnit vu{cfg};
+};
+
+TEST_F(VectorUnitTest, ZeroElementsIsFree)
+{
+    EXPECT_EQ(vu.softmaxCycles(0), 0u);
+    EXPECT_EQ(vu.residualCycles(0), 0u);
+}
+
+TEST_F(VectorUnitTest, OneLaneFullRoundsUp)
+{
+    // A single element still costs one pipeline beat per op pass.
+    EXPECT_EQ(vu.opCycles(1, 1.0), 1u);
+    EXPECT_EQ(vu.opCycles(128, 1.0), 1u);
+    EXPECT_EQ(vu.opCycles(129, 1.0), 2u);
+}
+
+TEST_F(VectorUnitTest, SoftmaxCostsMorePassesThanResidual)
+{
+    const std::uint64_t n = 1 << 16;
+    EXPECT_GT(vu.softmaxCycles(n), vu.residualCycles(n));
+    EXPECT_GT(vu.geluCycles(n), vu.layerNormCycles(n));
+}
+
+TEST_F(VectorUnitTest, CyclesScaleLinearly)
+{
+    Cycle small = vu.softmaxCycles(1 << 12);
+    Cycle large = vu.softmaxCycles(1 << 16);
+    EXPECT_NEAR(static_cast<double>(large) / small, 16.0, 0.1);
+}
+
+TEST(VectorUnitPool, WorkDividesAcrossUnits)
+{
+    VectorUnitConfig cfg;
+    VectorUnit one(cfg);
+    VectorUnitPool pool(cfg, 8);
+    const std::uint64_t n = 1 << 20;
+    EXPECT_EQ(pool.softmaxCycles(n), one.softmaxCycles(n / 8));
+}
+
+TEST(VectorUnitPool, SmallWorkDoesNotVanish)
+{
+    VectorUnitPool pool(VectorUnitConfig{}, 8);
+    EXPECT_GE(pool.softmaxCycles(1), 1u);
+}
+
+TEST(VectorUnitDeathTest, NonPositiveOpsPanics)
+{
+    VectorUnit vu{VectorUnitConfig{}};
+    EXPECT_DEATH((void)vu.opCycles(16, 0.0), "assertion");
+}
+
+} // namespace
+} // namespace neupims::npu

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and property tests for the vLLM-style paged KV-cache
+ * allocator: page math, growth, release, capacity pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/kv_cache.h"
+
+namespace neupims::runtime {
+namespace {
+
+KvCacheConfig
+smallConfig()
+{
+    KvCacheConfig cfg;
+    cfg.channels = 4;
+    cfg.tokensPerPage = 16;
+    cfg.bytesPerTokenPerLayer = 1024;
+    cfg.layers = 2;
+    cfg.bytesPerChannel = cfg.pageBytes() * 10; // 10 pages per channel
+    return cfg;
+}
+
+TEST(PagedKvCache, PageGeometry)
+{
+    auto cfg = smallConfig();
+    EXPECT_EQ(cfg.pageBytes(), 16u * 1024 * 2);
+    EXPECT_EQ(cfg.pagesPerChannel(), 10);
+}
+
+TEST(PagedKvCache, PagesForTokensRoundsUp)
+{
+    PagedKvCache kv(smallConfig());
+    EXPECT_EQ(kv.pagesForTokens(1), 1);
+    EXPECT_EQ(kv.pagesForTokens(16), 1);
+    EXPECT_EQ(kv.pagesForTokens(17), 2);
+    EXPECT_EQ(kv.pagesForTokens(160), 10);
+}
+
+TEST(PagedKvCache, AllocateConsumesPages)
+{
+    PagedKvCache kv(smallConfig());
+    EXPECT_TRUE(kv.allocateSequence(1, 0, 40)); // 3 pages
+    EXPECT_EQ(kv.freePages(0), 7);
+    EXPECT_EQ(kv.usedPages(0), 3);
+    EXPECT_EQ(kv.channelOf(1), 0);
+    EXPECT_EQ(kv.tokensOf(1), 40);
+}
+
+TEST(PagedKvCache, AllocateFailsWithoutRoomAndHasNoSideEffects)
+{
+    PagedKvCache kv(smallConfig());
+    EXPECT_FALSE(kv.allocateSequence(1, 0, 161)); // 11 pages > 10
+    EXPECT_EQ(kv.freePages(0), 10);
+    EXPECT_EQ(kv.channelOf(1), kInvalidId);
+}
+
+TEST(PagedKvCache, AppendAllocatesOnlyAtPageBoundary)
+{
+    PagedKvCache kv(smallConfig());
+    ASSERT_TRUE(kv.allocateSequence(7, 2, 15));
+    EXPECT_EQ(kv.usedPages(2), 1);
+    EXPECT_TRUE(kv.appendToken(7)); // 16th token: tail page fills
+    EXPECT_EQ(kv.usedPages(2), 1);
+    EXPECT_TRUE(kv.appendToken(7)); // 17th: new page
+    EXPECT_EQ(kv.usedPages(2), 2);
+}
+
+TEST(PagedKvCache, AppendFailsWhenChannelFull)
+{
+    PagedKvCache kv(smallConfig());
+    ASSERT_TRUE(kv.allocateSequence(1, 0, 160)); // all 10 pages
+    EXPECT_FALSE(kv.appendToken(1));
+    EXPECT_EQ(kv.tokensOf(1), 160); // unchanged on failure
+}
+
+TEST(PagedKvCache, FreeReturnsAllPages)
+{
+    PagedKvCache kv(smallConfig());
+    ASSERT_TRUE(kv.allocateSequence(1, 3, 100));
+    kv.freeSequence(1);
+    EXPECT_EQ(kv.freePages(3), 10);
+    EXPECT_EQ(kv.channelOf(1), kInvalidId);
+    // Double free is harmless.
+    kv.freeSequence(1);
+    EXPECT_EQ(kv.freePages(3), 10);
+}
+
+TEST(PagedKvCache, ChannelsAreIndependentPools)
+{
+    PagedKvCache kv(smallConfig());
+    ASSERT_TRUE(kv.allocateSequence(1, 0, 160));
+    EXPECT_FALSE(kv.canAllocate(0, 1));
+    EXPECT_TRUE(kv.canAllocate(1, 160));
+}
+
+TEST(PagedKvCache, UtilizationTracksPages)
+{
+    PagedKvCache kv(smallConfig());
+    EXPECT_DOUBLE_EQ(kv.utilization(), 0.0);
+    ASSERT_TRUE(kv.allocateSequence(1, 0, 160));
+    EXPECT_DOUBLE_EQ(kv.utilization(), 0.25); // 10 of 40 pages
+}
+
+TEST(PagedKvCacheDeathTest, DoubleAllocatePanics)
+{
+    PagedKvCache kv(smallConfig());
+    ASSERT_TRUE(kv.allocateSequence(1, 0, 10));
+    EXPECT_DEATH((void)kv.allocateSequence(1, 1, 10), "already");
+}
+
+TEST(PagedKvCacheDeathTest, UnknownAppendPanics)
+{
+    PagedKvCache kv(smallConfig());
+    EXPECT_DEATH((void)kv.appendToken(99), "unknown request");
+}
+
+/**
+ * Property: under random allocate/append/free traffic, page
+ * accounting never leaks — free + used == capacity on every channel.
+ */
+class KvCacheProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(KvCacheProperty, ConservationUnderRandomTraffic)
+{
+    auto cfg = smallConfig();
+    cfg.bytesPerChannel = cfg.pageBytes() * 64;
+    PagedKvCache kv(cfg);
+    Rng rng(GetParam());
+    std::vector<RequestId> live;
+    RequestId next_id = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+        double r = rng.uniform();
+        if (r < 0.4) {
+            ChannelId ch =
+                static_cast<ChannelId>(rng.uniformInt(0, 3));
+            int tokens = static_cast<int>(rng.uniformInt(1, 100));
+            if (kv.canAllocate(ch, tokens)) {
+                ASSERT_TRUE(kv.allocateSequence(next_id, ch, tokens));
+                live.push_back(next_id);
+            }
+            ++next_id;
+        } else if (r < 0.8 && !live.empty()) {
+            RequestId id =
+                live[rng.uniformInt(0, live.size() - 1)];
+            (void)kv.appendToken(id); // may fail under pressure: ok
+        } else if (!live.empty()) {
+            std::size_t idx = rng.uniformInt(0, live.size() - 1);
+            kv.freeSequence(live[idx]);
+            live.erase(live.begin() + idx);
+        }
+        for (ChannelId ch = 0; ch < cfg.channels; ++ch) {
+            ASSERT_GE(kv.freePages(ch), 0);
+            ASSERT_EQ(kv.freePages(ch) + kv.usedPages(ch),
+                      cfg.pagesPerChannel());
+        }
+    }
+    for (RequestId id : live)
+        kv.freeSequence(id);
+    for (ChannelId ch = 0; ch < cfg.channels; ++ch)
+        EXPECT_EQ(kv.freePages(ch), cfg.pagesPerChannel());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvCacheProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+} // namespace
+} // namespace neupims::runtime

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the request pool: lifecycle, admission, requeue,
+ * retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/request_pool.h"
+
+namespace neupims::runtime {
+namespace {
+
+TEST(Request, LifecycleAdvances)
+{
+    Request r;
+    r.inputLength = 10;
+    r.outputLength = 2;
+    EXPECT_EQ(r.currentSeqLen(), 10);
+    r.advance();
+    EXPECT_EQ(r.currentSeqLen(), 11);
+    EXPECT_FALSE(r.finished());
+    r.advance();
+    EXPECT_TRUE(r.finished());
+    EXPECT_EQ(r.status, RequestStatus::Done);
+}
+
+TEST(RequestPool, SubmitQueuesWaiting)
+{
+    RequestPool pool;
+    auto id = pool.submit(10, 5);
+    EXPECT_EQ(pool.waitingCount(), 1u);
+    EXPECT_EQ(pool.runningCount(), 0u);
+    EXPECT_EQ(pool.request(id).status, RequestStatus::Waiting);
+}
+
+TEST(RequestPool, AdmitMovesFifoOrder)
+{
+    RequestPool pool;
+    auto a = pool.submit(1, 1);
+    auto b = pool.submit(2, 1);
+    pool.submit(3, 1);
+    auto admitted = pool.admit(2);
+    ASSERT_EQ(admitted.size(), 2u);
+    EXPECT_EQ(admitted[0], a);
+    EXPECT_EQ(admitted[1], b);
+    EXPECT_EQ(pool.waitingCount(), 1u);
+    EXPECT_EQ(pool.runningCount(), 2u);
+}
+
+TEST(RequestPool, AdmitIsBoundedByWaiting)
+{
+    RequestPool pool;
+    pool.submit(1, 1);
+    EXPECT_EQ(pool.admit(10).size(), 1u);
+    EXPECT_TRUE(pool.admit(10).empty());
+}
+
+TEST(RequestPool, CompleteIterationRetiresFinished)
+{
+    RequestPool pool;
+    pool.submit(5, 1); // finishes after one iteration
+    pool.submit(5, 3);
+    pool.admit(2);
+    auto retired = pool.completeIteration();
+    ASSERT_EQ(retired.size(), 1u);
+    EXPECT_EQ(pool.runningCount(), 1u);
+    EXPECT_EQ(pool.completedCount(), 1u);
+    EXPECT_EQ(pool.totalGeneratedTokens(), 2u);
+}
+
+TEST(RequestPool, RequeuePutsRequestAtFront)
+{
+    RequestPool pool;
+    auto a = pool.submit(1, 1);
+    pool.submit(2, 1);
+    pool.admit(1);
+    pool.requeue(a);
+    EXPECT_EQ(pool.runningCount(), 0u);
+    EXPECT_EQ(pool.waitingCount(), 2u);
+    // Next admission re-admits the requeued request first.
+    auto admitted = pool.admit(1);
+    EXPECT_EQ(admitted[0], a);
+}
+
+TEST(RequestPool, RunningRequestsExposeMutableState)
+{
+    RequestPool pool;
+    auto id = pool.submit(10, 5);
+    pool.admit(1);
+    auto reqs = pool.runningRequests();
+    ASSERT_EQ(reqs.size(), 1u);
+    reqs[0]->channel = 7;
+    EXPECT_EQ(pool.request(id).channel, 7);
+}
+
+TEST(RequestPoolDeathTest, RequeueNonRunningPanics)
+{
+    RequestPool pool;
+    auto id = pool.submit(1, 1);
+    EXPECT_DEATH(pool.requeue(id), "not running");
+}
+
+TEST(RequestPoolDeathTest, InvalidIdPanics)
+{
+    RequestPool pool;
+    EXPECT_DEATH((void)pool.request(42), "assertion");
+}
+
+TEST(RequestPool, ManyIterationsDrainEverything)
+{
+    RequestPool pool;
+    for (int i = 0; i < 20; ++i)
+        pool.submit(1 + i, 1 + i % 5);
+    pool.admit(20);
+    int guard = 0;
+    while (pool.runningCount() > 0 && guard++ < 100)
+        pool.completeIteration();
+    EXPECT_EQ(pool.completedCount(), 20u);
+}
+
+} // namespace
+} // namespace neupims::runtime
