@@ -85,4 +85,30 @@ buildComposition(const std::vector<runtime::SequenceSample> &samples,
     return out;
 }
 
+BatchComposition
+uniformComposition(int batch, int seq_len, int channels)
+{
+    NEUPIMS_ASSERT(batch >= 1 && seq_len >= 1 && channels >= 1);
+    BatchComposition comp;
+    comp.full.assign(channels, {});
+    comp.sb1.assign(channels, {});
+    comp.sb2.assign(channels, {});
+    // Round-robin assignment of identical requests == splitEven of
+    // the count; sub-batches follow Algorithm 3's alternating split.
+    bool turn = true;
+    for (ChannelId ch = 0; ch < channels; ++ch) {
+        int count = batch / channels + (ch < batch % channels ? 1 : 0);
+        comp.full[ch].assign(count, seq_len);
+        std::size_t first = static_cast<std::size_t>(count) / 2;
+        if (count % 2 != 0) {
+            first += turn ? 1 : 0;
+            turn = !turn;
+        }
+        comp.sb1[ch].assign(first, seq_len);
+        comp.sb2[ch].assign(static_cast<std::size_t>(count) - first,
+                            seq_len);
+    }
+    return comp;
+}
+
 } // namespace neupims::core

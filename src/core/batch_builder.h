@@ -30,6 +30,17 @@ buildComposition(const std::vector<runtime::SequenceSample> &samples,
                  int channels, bool min_load_packing,
                  const runtime::MhaLatencyParams &est);
 
+/**
+ * Uniform composition: @p batch requests of identical KV length
+ * @p seq_len split evenly across @p channels, with Algorithm-3
+ * sub-batches. The per-channel request counts differ by at most one,
+ * so at most a handful of distinct per-channel compositions exist —
+ * the shape the channel-symmetry fast path collapses. Used by the
+ * engine benchmarks and the symmetry equivalence tests.
+ */
+BatchComposition uniformComposition(int batch, int seq_len,
+                                    int channels);
+
 /** Algorithm-1 parameter set matching a device/model combination. */
 runtime::MhaLatencyParams
 latencyParamsFor(const DeviceConfig &cfg, const model::LlmConfig &model,

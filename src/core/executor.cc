@@ -1,6 +1,8 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 #include "common/log.h"
 #include "npu/scratchpad.h"
@@ -17,6 +19,52 @@ splitEven(int total, int parts)
     for (int i = 0; i < total % parts; ++i)
         ++out[i];
     return out;
+}
+
+/**
+ * Channel equivalence classes of a batch composition: channels whose
+ * request lists (full batch and both sub-batches, in order) are
+ * identical receive bit-identical engine work, so one representative
+ * controller can stand in for the whole class (DESIGN.md §5).
+ * Channel 0 always forms a singleton class because all-channel DMA
+ * streams park their sub-burst tail there, which makes its job stream
+ * differ from any sibling's whenever a transfer is not a multiple of
+ * channels x burst bytes.
+ */
+dram::SymmetryGroups
+computeSymmetryGroups(int channels, const BatchComposition &batch)
+{
+    dram::SymmetryGroups g;
+    g.representative.resize(channels);
+    g.classSize.assign(channels, 0);
+
+    static const std::vector<int> kEmpty;
+    auto lens = [](const std::vector<std::vector<int>> &v,
+                   ChannelId ch) -> const std::vector<int> & {
+        return ch < static_cast<ChannelId>(v.size()) ? v[ch] : kEmpty;
+    };
+
+    using Signature = std::tuple<std::vector<int>, std::vector<int>,
+                                 std::vector<int>>;
+    std::map<Signature, ChannelId> first_with;
+    for (ChannelId ch = 0; ch < channels; ++ch) {
+        ChannelId rep = ch;
+        if (ch > 0) {
+            Signature sig{lens(batch.full, ch), lens(batch.sb1, ch),
+                          lens(batch.sb2, ch)};
+            rep = first_with.try_emplace(std::move(sig), ch)
+                      .first->second;
+        }
+        g.representative[ch] = rep;
+        ++g.classSize[rep];
+    }
+    for (ChannelId ch = 0; ch < channels; ++ch) {
+        if (g.representative[ch] == ch)
+            ++g.numClasses;
+        else
+            g.classSize[ch] = g.classSize[g.representative[ch]];
+    }
+    return g;
 }
 
 } // namespace
@@ -207,6 +255,24 @@ class IterationSim
         return end;
     }
 
+    /**
+     * MHA softmax of one channel's logits: starts the moment the
+     * logits are available, independent of other channels' softmaxes.
+     * The 8x128-lane VU pool sustains far more softmax throughput
+     * than the PIM GEMVs demand (§6.1: the softmax fully hides under
+     * PIM compute), so cross-channel VU queueing is not modeled; this
+     * channel-locality is also what makes composition-identical
+     * channels behave identically end to end — the invariant the
+     * channel-symmetry fast path folds on (DESIGN.md §5).
+     */
+    Cycle
+    channelSoftmax(Cycle ready, std::uint64_t elems)
+    {
+        Cycle end = ready + npu_.vectorUnits().softmaxCycles(elems);
+        npu_.recordVector(ready, end);
+        return end;
+    }
+
     /** Build a PIM kernel job from a GEMV kernel footprint. */
     dram::PimJob
     makePimJob(const model::GemvKernelWork &w,
@@ -371,8 +437,13 @@ class IterationSim
         auto state = std::make_shared<MhaState>();
         state->thread = ti;
 
+        // Folded (non-representative) channels are skipped outright:
+        // their representative's kernels, completions and statistics
+        // stand in for theirs (channel-symmetry fast path).
         if (cfg_.flags.pipelinedMha) {
             for (std::size_t ch = 0; ch < mha.requests.size(); ++ch) {
+                if (!hbm_.isRepresentative(static_cast<ChannelId>(ch)))
+                    continue;
                 auto &ctrl =
                     hbm_.controller(static_cast<ChannelId>(ch));
                 for (const auto &req : mha.requests[ch]) {
@@ -384,9 +455,8 @@ class IterationSim
                         req.logit,
                         [this, state, attend_work, ch,
                          elems = req.softmaxElems](Cycle logit_done) {
-                            Cycle vu =
-                                npu_.vectorUnits().softmaxCycles(elems);
-                            Cycle sm_end = runVector(logit_done, vu);
+                            Cycle sm_end =
+                                channelSoftmax(logit_done, elems);
                             eq_.schedule(
                                 std::max(sm_end, eq_.now()),
                                 [this, state, attend_work, ch] {
@@ -404,6 +474,8 @@ class IterationSim
         } else {
             for (std::size_t ch = 0; ch < mha.requests.size(); ++ch) {
                 if (mha.requests[ch].empty())
+                    continue;
+                if (!hbm_.isRepresentative(static_cast<ChannelId>(ch)))
                     continue;
                 ++state->outstanding;
                 runBaselineChannelMha(ti, static_cast<ChannelId>(ch),
@@ -470,8 +542,7 @@ class IterationSim
     {
         // Exposed softmax: the channel's PIM sits idle while the
         // vector units normalize all its logits.
-        Cycle vu = npu_.vectorUnits().softmaxCycles(chan->softmaxElems);
-        Cycle sm_end = runVector(chan->lastDone, vu);
+        Cycle sm_end = channelSoftmax(chan->lastDone, chan->softmaxElems);
         eq_.schedule(std::max(sm_end, eq_.now()), [this, state, chan,
                                                    ch] {
             auto &ctrl = hbm_.controller(ch);
@@ -663,7 +734,13 @@ DeviceExecutor::runIteration(const BatchComposition &batch,
                    layersPerDevice_, " < ", window_layers);
 
     eq_ = std::make_unique<EventQueue>();
-    hbm_ = std::make_unique<dram::HbmStack>(*eq_, cfg_.memConfig());
+    auto groups =
+        cfg_.flags.channelSymmetry
+            ? computeSymmetryGroups(cfg_.org.channels, batch)
+            : dram::SymmetryGroups::identity(cfg_.org.channels);
+    lastSymmetryClasses_ = groups.numClasses;
+    hbm_ = std::make_unique<dram::HbmStack>(*eq_, cfg_.memConfig(),
+                                            std::move(groups));
     npu_ = std::make_unique<npu::Npu>(cfg_.npu);
     dma_ = std::make_unique<npu::DmaEngine>(*eq_, *hbm_);
 

@@ -114,6 +114,14 @@ class DeviceExecutor
     dram::HbmStack *hbm() { return hbm_.get(); }
     npu::Npu *npu() { return npu_.get(); }
 
+    /**
+     * Channel equivalence classes the last runIteration simulated
+     * (== channel count when the symmetry fast path is off or every
+     * per-channel composition is distinct; see
+     * FeatureFlags::channelSymmetry).
+     */
+    int lastSymmetryClasses() const { return lastSymmetryClasses_; }
+
   private:
     friend class IterationSim;
 
@@ -128,6 +136,7 @@ class DeviceExecutor
     std::unique_ptr<dram::HbmStack> hbm_;
     std::unique_ptr<npu::Npu> npu_;
     std::unique_ptr<npu::DmaEngine> dma_;
+    int lastSymmetryClasses_ = 0;
 };
 
 } // namespace neupims::core

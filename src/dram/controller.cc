@@ -21,7 +21,15 @@ MemoryController::MemoryController(EventQueue &eq,
                                    ControllerConfig cfg)
     : eq_(eq), cfg_(cfg), channel_(timing, org, cfg.dualRowBuffers)
 {
+    NEUPIMS_ASSERT(channel_.numBanks() <= 64,
+                   "bank occupancy mask holds at most 64 banks");
     memInFlight_.reserve(cfg_.memIssueWindow);
+    // Reserve the transaction queues up front: the DMA engine enqueues
+    // a whole tensor stream's row jobs at once, and growth inside
+    // enqueueMem was a measurable cost (the upstream NewtonSim
+    // controller notes the same under-reservation).
+    memQueue_.reserve(4096);
+    pimQueue_.reserve(256);
 }
 
 void
@@ -90,19 +98,14 @@ MemoryController::refillMemWindow()
         // Keep at most one in-flight job per bank so an incoming job
         // cannot precharge a row a sibling is still bursting on.
         BankId bank = memQueue_.front().bank;
-        bool conflict = false;
-        for (const auto &m : memInFlight_) {
-            if (m.job.bank == bank) {
-                conflict = true;
-                break;
-            }
-        }
-        if (conflict)
+        if (banksBusyMask_ & (1ULL << bank))
             break;
         MemExec exec;
         exec.job = std::move(memQueue_.front());
         memQueue_.pop_front();
         exec.enqueued = eq_.now();
+        exec.seq = memSeq_++;
+        banksBusyMask_ |= 1ULL << bank;
         memInFlight_.push_back(std::move(exec));
     }
 }
@@ -137,6 +140,7 @@ MemoryController::candidateMem(int &which) const
     if (cfg_.blockedMode && pim_)
         return kCycleMax;
     Cycle best = kCycleMax;
+    std::uint64_t bestSeq = 0;
     for (int i = 0; i < static_cast<int>(memInFlight_.size()); ++i) {
         const auto &m = memInFlight_[i];
         const Bank &bank = channel_.bank(m.job.bank);
@@ -158,8 +162,12 @@ MemoryController::candidateMem(int &which) const
             c = channel_.earliestColumn(m.job.bank, BufferSide::Mem,
                                         m.job.write, lb);
         }
-        if (c < best) {
+        // Tie-break equal candidate cycles oldest-first: this matches
+        // the former lowest-index rule (the in-flight vector used to
+        // stay in admission order) while allowing swap-and-pop.
+        if (c < best || (c == best && m.seq < bestSeq)) {
             best = c;
+            bestSeq = m.seq;
             which = i;
         }
     }
@@ -243,8 +251,13 @@ MemoryController::stepMem(int which)
     (void)cmd;
     m.lastBurstEnd = data_end;
     if (++m.burstsDone == m.job.bursts) {
+        banksBusyMask_ &= ~(1ULL << m.job.bank);
         finishMem(m);
-        memInFlight_.erase(memInFlight_.begin() + which);
+        // Swap-and-pop: candidate selection orders by (cycle, seq),
+        // not index, so in-flight order is free to shuffle.
+        if (which != static_cast<int>(memInFlight_.size()) - 1)
+            memInFlight_[which] = std::move(memInFlight_.back());
+        memInFlight_.pop_back();
     }
 }
 

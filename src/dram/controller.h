@@ -28,12 +28,12 @@
 #define NEUPIMS_DRAM_CONTROLLER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/ring_queue.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/channel.h"
@@ -136,6 +136,10 @@ class MemoryController
         int burstsDone = 0;
         Cycle lastBurstEnd = 0;
         Cycle enqueued = 0;
+        /** Issue-window admission order: candidate selection breaks
+         * cycle ties oldest-first, so completion may swap-and-pop the
+         * vector without perturbing the schedule. */
+        std::uint64_t seq = 0;
     };
 
     /** In-flight state machine for one PimJob. */
@@ -202,9 +206,13 @@ class MemoryController
     ControllerConfig cfg_;
     Channel channel_;
 
-    std::deque<MemJob> memQueue_;
-    std::deque<PimJob> pimQueue_;
+    RingQueue<MemJob> memQueue_;
+    RingQueue<PimJob> pimQueue_;
     std::vector<MemExec> memInFlight_;
+    /** Banks with an in-flight mem job (one bit per bank), replacing
+     * the former linear scan of memInFlight_ per admission. */
+    std::uint64_t banksBusyMask_ = 0;
+    std::uint64_t memSeq_ = 0;
     std::unique_ptr<PimExec> pim_;
 
     bool kickScheduled_ = false;

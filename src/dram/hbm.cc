@@ -3,12 +3,25 @@
 namespace neupims::dram {
 
 HbmStack::HbmStack(EventQueue &eq, const MemConfig &cfg)
-    : eq_(eq), cfg_(cfg)
+    : HbmStack(eq, cfg, SymmetryGroups::identity(cfg.org.channels))
+{}
+
+HbmStack::HbmStack(EventQueue &eq, const MemConfig &cfg,
+                   SymmetryGroups groups)
+    : eq_(eq), cfg_(cfg), groups_(std::move(groups))
 {
-    ctrls_.reserve(cfg.org.channels);
-    for (int c = 0; c < cfg.org.channels; ++c) {
-        ctrls_.push_back(std::make_unique<MemoryController>(
-            eq_, cfg_.timing, cfg_.org, cfg_.ctrl));
+    NEUPIMS_ASSERT(static_cast<int>(groups_.representative.size()) ==
+                   cfg_.org.channels);
+    ctrls_.resize(cfg_.org.channels);
+    for (int c = 0; c < cfg_.org.channels; ++c) {
+        ChannelId rep = groups_.representative[c];
+        NEUPIMS_ASSERT(rep >= 0 && rep < cfg_.org.channels &&
+                           groups_.representative[rep] == rep,
+                       "malformed symmetry groups at channel ", c);
+        if (rep == c) {
+            ctrls_[c] = std::make_unique<MemoryController>(
+                eq_, cfg_.timing, cfg_.org, cfg_.ctrl);
+        }
     }
 }
 
@@ -16,18 +29,24 @@ bool
 HbmStack::idle() const
 {
     for (const auto &c : ctrls_) {
-        if (!c->idle())
+        if (c && !c->idle())
             return false;
     }
     return true;
 }
 
+// The aggregate walks every logical channel through controller(), so a
+// folded member contributes its representative's (bit-identical) value
+// in the same summation order as the unfolded simulation — keeping
+// floating-point accumulations exactly equal with the fast path on or
+// off.
+
 Bytes
 HbmStack::totalDataBusBytes() const
 {
     Bytes total = 0;
-    for (const auto &c : ctrls_)
-        total += c->channel().dataBusBytes();
+    for (ChannelId ch = 0; ch < numChannels(); ++ch)
+        total += controller(ch).channel().dataBusBytes();
     return total;
 }
 
@@ -35,8 +54,8 @@ CommandCounts
 HbmStack::totalCommandCounts() const
 {
     CommandCounts total;
-    for (const auto &c : ctrls_) {
-        const auto &counts = c->channel().commandCounts();
+    for (ChannelId ch = 0; ch < numChannels(); ++ch) {
+        const auto &counts = controller(ch).channel().commandCounts();
         for (int i = 0; i < kNumCommandTypes; ++i)
             total.counts[i] += counts.counts[i];
     }
@@ -47,8 +66,8 @@ Cycle
 HbmStack::totalPimBankBusyCycles() const
 {
     double total = 0.0;
-    for (const auto &c : ctrls_)
-        total += c->pimBankBusyCycles().value();
+    for (ChannelId ch = 0; ch < numChannels(); ++ch)
+        total += controller(ch).pimBankBusyCycles().value();
     return static_cast<Cycle>(total);
 }
 
@@ -56,10 +75,10 @@ double
 HbmStack::dataBusUtilization(Cycle window_start, Cycle window_end)
 {
     double sum = 0.0;
-    for (auto &c : ctrls_)
-        sum += c->channel().dataBusUtil().utilization(window_start,
-                                                      window_end);
-    return sum / static_cast<double>(ctrls_.size());
+    for (ChannelId ch = 0; ch < numChannels(); ++ch)
+        sum += controller(ch).channel().dataBusUtil().utilization(
+            window_start, window_end);
+    return sum / static_cast<double>(numChannels());
 }
 
 double
@@ -77,7 +96,7 @@ HbmStack::pimUtilization(Cycle window_start, Cycle window_end) const
 ChannelActivity
 HbmStack::channelActivity(ChannelId ch, Cycle window) const
 {
-    const auto &ctrl = *ctrls_.at(ch);
+    const auto &ctrl = controller(ch);
     ChannelActivity a;
     a.windowCycles = window;
     a.counts = ctrl.channel().commandCounts();

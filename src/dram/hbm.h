@@ -25,17 +25,76 @@ struct MemConfig
     ControllerConfig ctrl;
 };
 
+/**
+ * Channel equivalence classes for the channel-symmetry fast path:
+ * channels that will receive bit-identical job streams share one
+ * simulated controller (the class representative). The identity
+ * grouping (every channel its own representative) reproduces the
+ * unfolded simulation exactly.
+ */
+struct SymmetryGroups
+{
+    /** Per-channel representative; representative(ch) == ch for the
+     * channel that is actually simulated. */
+    std::vector<ChannelId> representative;
+    /** Per-channel size of the class the channel belongs to. */
+    std::vector<int> classSize;
+    int numClasses = 0;
+
+    static SymmetryGroups
+    identity(int channels)
+    {
+        SymmetryGroups g;
+        g.representative.resize(channels);
+        g.classSize.assign(channels, 1);
+        for (ChannelId ch = 0; ch < channels; ++ch)
+            g.representative[ch] = ch;
+        g.numClasses = channels;
+        return g;
+    }
+};
+
 class HbmStack
 {
   public:
     HbmStack(EventQueue &eq, const MemConfig &cfg);
+    HbmStack(EventQueue &eq, const MemConfig &cfg, SymmetryGroups groups);
 
-    int numChannels() const { return static_cast<int>(ctrls_.size()); }
-    MemoryController &controller(ChannelId ch) { return *ctrls_.at(ch); }
-    const MemoryController &controller(ChannelId ch) const
+    int numChannels() const { return cfg_.org.channels; }
+
+    /**
+     * The controller simulating @p ch: its own when @p ch is a class
+     * representative, the representative's otherwise (the fold means
+     * a member channel's behavior is the representative's, replayed).
+     */
+    MemoryController &
+    controller(ChannelId ch)
     {
-        return *ctrls_.at(ch);
+        return *ctrls_.at(groups_.representative.at(ch));
     }
+    const MemoryController &
+    controller(ChannelId ch) const
+    {
+        return *ctrls_.at(groups_.representative.at(ch));
+    }
+
+    /** Whether @p ch is simulated (vs folded onto a representative). */
+    bool
+    isRepresentative(ChannelId ch) const
+    {
+        return groups_.representative.at(ch) == ch;
+    }
+
+    /** The representative channel of @p ch's equivalence class. */
+    ChannelId
+    representative(ChannelId ch) const
+    {
+        return groups_.representative.at(ch);
+    }
+
+    int classSize(ChannelId ch) const { return groups_.classSize.at(ch); }
+    int symmetryClasses() const { return groups_.numClasses; }
+
     const MemConfig &config() const { return cfg_; }
 
     /** True when every channel is idle. */
@@ -78,6 +137,8 @@ class HbmStack
   private:
     EventQueue &eq_;
     MemConfig cfg_;
+    SymmetryGroups groups_;
+    /** Indexed by channel; null for folded (non-representative) slots. */
     std::vector<std::unique_ptr<MemoryController>> ctrls_;
 };
 

@@ -63,8 +63,27 @@ Compiler::attendRowTiles(int seq_len) const
     return logitRowTiles(seq_len);
 }
 
-LayerPlan
+const LayerPlan &
 Compiler::compileLayer(
+    const std::vector<std::vector<int>> &seq_lens_per_channel) const
+{
+    auto it = planCache_.find(seq_lens_per_channel);
+    if (it != planCache_.end()) {
+        ++cacheHits_;
+        return it->second;
+    }
+    ++cacheMisses_;
+    if (planCache_.size() >= kMaxCachedPlans)
+        planCache_.clear();
+    auto [pos, inserted] = planCache_.emplace(
+        seq_lens_per_channel,
+        compileLayerUncached(seq_lens_per_channel));
+    NEUPIMS_ASSERT(inserted);
+    return pos->second;
+}
+
+LayerPlan
+Compiler::compileLayerUncached(
     const std::vector<std::vector<int>> &seq_lens_per_channel) const
 {
     NEUPIMS_ASSERT(static_cast<int>(seq_lens_per_channel.size()) <=

@@ -67,10 +67,21 @@ DmaEngine::streamAllChannels(Bytes total, bool write, int bursts_per_row,
     Bytes burst = hbm_.config().org.burstBytes;
     Bytes per_channel = (total / n) / burst * burst;
     Bytes remainder = total - per_channel * static_cast<Bytes>(n);
+    // A tail would make channel 0's job stream differ from its class
+    // siblings'; the executor keeps channel 0 a singleton class.
+    NEUPIMS_ASSERT(remainder == 0 || hbm_.classSize(0) == 1,
+                   "all-channel tail requires channel 0 unfolded");
     for (ChannelId ch = 0; ch < n; ++ch) {
         Bytes bytes = per_channel + (ch == 0 ? remainder : 0);
-        if (bytes > 0)
-            enqueueRows(ch, bytes, write, bursts_per_row, tracker);
+        if (bytes == 0)
+            continue;
+        if (!hbm_.isRepresentative(ch)) {
+            // Folded channel: its representative carries the identical
+            // stream; only the traffic accounting is replicated.
+            issuedBytes_ += bytes;
+            continue;
+        }
+        enqueueRows(ch, bytes, write, bursts_per_row, tracker);
     }
     tracker->sealed = true;
     if (tracker->outstanding == 0 && tracker->onDone) {
@@ -84,6 +95,10 @@ void
 DmaEngine::streamChannel(ChannelId ch, Bytes bytes, bool write,
                          int bursts_per_row, Callback on_done)
 {
+    // Channel-specific traffic is inherently asymmetric; it may only
+    // target channels that are actually simulated.
+    NEUPIMS_ASSERT(hbm_.isRepresentative(ch) && hbm_.classSize(ch) == 1,
+                   "streamChannel targets a folded channel ", ch);
     auto tracker = std::make_shared<Tracker>();
     tracker->onDone = std::move(on_done);
     if (bytes > 0)
@@ -105,9 +120,21 @@ DmaEngine::streamPerChannel(const std::vector<Bytes> &bytes_per_channel,
     tracker->onDone = std::move(on_done);
     for (ChannelId ch = 0;
          ch < static_cast<ChannelId>(bytes_per_channel.size()); ++ch) {
-        if (bytes_per_channel[ch] > 0)
-            enqueueRows(ch, bytes_per_channel[ch], write, bursts_per_row,
-                        tracker);
+        if (bytes_per_channel[ch] == 0)
+            continue;
+        if (!hbm_.isRepresentative(ch)) {
+            // The fold is only exact when the member mirrors its
+            // representative's traffic byte for byte.
+            ChannelId rep = hbm_.representative(ch);
+            NEUPIMS_ASSERT(bytes_per_channel[ch] ==
+                               bytes_per_channel[rep],
+                           "asymmetric per-channel stream on folded "
+                           "channel ", ch);
+            issuedBytes_ += bytes_per_channel[ch];
+            continue;
+        }
+        enqueueRows(ch, bytes_per_channel[ch], write, bursts_per_row,
+                    tracker);
     }
     tracker->sealed = true;
     if (tracker->outstanding == 0 && tracker->onDone)

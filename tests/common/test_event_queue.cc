@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/rng.h"
 
 namespace neupims {
 namespace {
@@ -110,6 +113,107 @@ TEST(EventQueue, NextEventCycleReportsEarliest)
     eq.schedule(42, [] {});
     eq.schedule(7, [] {});
     EXPECT_EQ(eq.nextEventCycle(), 7u);
+}
+
+TEST(EventQueue, StepHonorsLimitLikeRun)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&] { ++hits; });
+    eq.schedule(100, [&] { ++hits; });
+    EXPECT_TRUE(eq.step(50));
+    EXPECT_EQ(hits, 1);
+    // The next event lies beyond the limit: step advances to the
+    // limit and executes nothing, exactly as run(limit) would.
+    EXPECT_FALSE(eq.step(50));
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, EventsBeyondTheWheelWindowStillOrder)
+{
+    // Schedules far enough apart to force the overflow heap and
+    // several window rebase sweeps.
+    EventQueue eq;
+    std::vector<Cycle> order;
+    for (Cycle c : {1'000'000u, 5u, 250'000u, 9'000u, 250'000u})
+        eq.schedule(c, [&order, c] { order.push_back(c); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Cycle>{5, 9'000, 250'000, 250'000,
+                                         1'000'000}));
+    EXPECT_EQ(eq.now(), 1'000'000u);
+}
+
+TEST(EventQueue, CallbackChainsAcrossWindows)
+{
+    EventQueue eq;
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 64)
+            eq.scheduleIn(10'000, hop); // > wheel span per hop
+    };
+    eq.schedule(0, hop);
+    eq.run();
+    EXPECT_EQ(hops, 64);
+    EXPECT_EQ(eq.now(), 63u * 10'000u);
+}
+
+TEST(EventQueue, ScheduleIntoGapAfterLimitedRun)
+{
+    // run(limit) can park now_ while the wheel window has already
+    // advanced to a far-future event; scheduling into that gap must
+    // still execute in global (cycle, sequence) order.
+    EventQueue eq;
+    std::vector<Cycle> order;
+    auto mark = [&order, &eq] { order.push_back(eq.now()); };
+    eq.schedule(1'000'000, mark);
+    eq.run(50);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.schedule(60, mark);
+    eq.schedule(70'000, mark);
+    eq.schedule(1'000'000, mark);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<Cycle>{60, 70'000, 1'000'000,
+                                         1'000'000}));
+}
+
+/**
+ * Differential test: the calendar queue must execute a randomized
+ * workload — mixed near/far schedules, same-cycle bursts and
+ * callback-driven reschedules — in exactly the (cycle, sequence)
+ * order of the reference heap implementation.
+ */
+TEST(EventQueue, MatchesHeapReferenceOnRandomWorkload)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        auto drive = [seed](auto &eq) {
+            std::vector<std::pair<Cycle, int>> trace;
+            Rng rng(seed);
+            int id = 0;
+            std::function<void(int)> chain = [&](int depth) {
+                trace.emplace_back(eq.now(), id++);
+                if (depth > 0) {
+                    Cycle d = rng.uniformInt(0, 20'000);
+                    eq.scheduleIn(d, [&chain, depth] {
+                        chain(depth - 1);
+                    });
+                }
+            };
+            for (int i = 0; i < 200; ++i) {
+                Cycle when = rng.uniformInt(0, 30'000);
+                int depth = static_cast<int>(rng.uniformInt(0, 3));
+                eq.schedule(when, [&chain, depth] { chain(depth); });
+            }
+            eq.run();
+            return trace;
+        };
+        EventQueue bucketed;
+        HeapEventQueue heap;
+        EXPECT_EQ(drive(bucketed), drive(heap)) << "seed " << seed;
+    }
 }
 
 } // namespace

@@ -140,6 +140,46 @@ TEST_F(CompilerTest, VectorElemsCoverNormsAndResiduals)
     EXPECT_EQ(plan.vectorElems, 3u * 7168 * 4);
 }
 
+TEST_F(CompilerTest, CompileLayerIsMemoizedPerComposition)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {100, 200};
+    lens[7] = {350};
+    EXPECT_EQ(compiler.planCacheMisses(), 0u);
+
+    const auto &first = compiler.compileLayer(lens);
+    EXPECT_EQ(compiler.planCacheMisses(), 1u);
+    EXPECT_EQ(compiler.planCacheHits(), 0u);
+
+    // Identical composition: same cached object, no recompilation.
+    const auto &second = compiler.compileLayer(lens);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(compiler.planCacheMisses(), 1u);
+    EXPECT_EQ(compiler.planCacheHits(), 1u);
+
+    // A different composition must not alias the cached plan.
+    lens[7] = {351};
+    const auto &third = compiler.compileLayer(lens);
+    EXPECT_EQ(compiler.planCacheMisses(), 2u);
+    EXPECT_EQ(third.mha.requests[7][0].seqLen, 351);
+    EXPECT_EQ(second.mha.requests[7][0].seqLen, 350);
+}
+
+TEST_F(CompilerTest, CachedPlanEqualsFreshCompile)
+{
+    std::vector<std::vector<int>> lens(32);
+    for (int ch = 0; ch < 32; ++ch)
+        lens[ch] = {64 + ch, 128};
+    auto plan = compiler.compileLayer(lens); // copy of the cached plan
+    Compiler fresh(cfg, 4, mem);
+    const auto &ref = fresh.compileLayer(lens);
+    EXPECT_EQ(plan.batch, ref.batch);
+    EXPECT_EQ(plan.gemmFlops(), ref.gemmFlops());
+    EXPECT_EQ(plan.gemmWeightBytes(), ref.gemmWeightBytes());
+    EXPECT_EQ(plan.mha.kvReadBytes, ref.mha.kvReadBytes);
+    EXPECT_EQ(plan.mha.totalSoftmaxElems, ref.mha.totalSoftmaxElems);
+}
+
 TEST(CompilerDeathTest, EmptyBatchPanics)
 {
     MemShape mem;
