@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test_analysis.dir/tests/analysis/test_analysis.cc.o"
+  "CMakeFiles/analysis_test_analysis.dir/tests/analysis/test_analysis.cc.o.d"
+  "analysis_test_analysis"
+  "analysis_test_analysis.pdb"
+  "analysis_test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_event_queue.dir/tests/common/test_event_queue.cc.o"
+  "CMakeFiles/common_test_event_queue.dir/tests/common/test_event_queue.cc.o.d"
+  "common_test_event_queue"
+  "common_test_event_queue.pdb"
+  "common_test_event_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_log.dir/tests/common/test_log.cc.o"
+  "CMakeFiles/common_test_log.dir/tests/common/test_log.cc.o.d"
+  "common_test_log"
+  "common_test_log.pdb"
+  "common_test_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_rng.dir/tests/common/test_rng.cc.o"
+  "CMakeFiles/common_test_rng.dir/tests/common/test_rng.cc.o.d"
+  "common_test_rng"
+  "common_test_rng.pdb"
+  "common_test_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

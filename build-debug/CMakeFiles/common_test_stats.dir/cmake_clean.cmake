@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test_stats.dir/tests/common/test_stats.cc.o"
+  "CMakeFiles/common_test_stats.dir/tests/common/test_stats.cc.o.d"
+  "common_test_stats"
+  "common_test_stats.pdb"
+  "common_test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

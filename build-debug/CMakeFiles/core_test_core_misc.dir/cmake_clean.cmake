@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_core_misc.dir/tests/core/test_core_misc.cc.o"
+  "CMakeFiles/core_test_core_misc.dir/tests/core/test_core_misc.cc.o.d"
+  "core_test_core_misc"
+  "core_test_core_misc.pdb"
+  "core_test_core_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_core_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

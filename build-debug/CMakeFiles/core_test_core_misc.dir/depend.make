@@ -1,0 +1,2 @@
+# Empty dependencies file for core_test_core_misc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_executor.dir/tests/core/test_executor.cc.o"
+  "CMakeFiles/core_test_executor.dir/tests/core/test_executor.cc.o.d"
+  "core_test_executor"
+  "core_test_executor.pdb"
+  "core_test_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_symmetry.dir/tests/core/test_symmetry.cc.o"
+  "CMakeFiles/core_test_symmetry.dir/tests/core/test_symmetry.cc.o.d"
+  "core_test_symmetry"
+  "core_test_symmetry.pdb"
+  "core_test_symmetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_address.dir/tests/dram/test_address.cc.o"
+  "CMakeFiles/dram_test_address.dir/tests/dram/test_address.cc.o.d"
+  "dram_test_address"
+  "dram_test_address.pdb"
+  "dram_test_address[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

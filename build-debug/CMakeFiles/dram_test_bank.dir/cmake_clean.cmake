@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_bank.dir/tests/dram/test_bank.cc.o"
+  "CMakeFiles/dram_test_bank.dir/tests/dram/test_bank.cc.o.d"
+  "dram_test_bank"
+  "dram_test_bank.pdb"
+  "dram_test_bank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_channel.dir/tests/dram/test_channel.cc.o"
+  "CMakeFiles/dram_test_channel.dir/tests/dram/test_channel.cc.o.d"
+  "dram_test_channel"
+  "dram_test_channel.pdb"
+  "dram_test_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

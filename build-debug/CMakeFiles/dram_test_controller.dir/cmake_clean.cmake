@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_controller.dir/tests/dram/test_controller.cc.o"
+  "CMakeFiles/dram_test_controller.dir/tests/dram/test_controller.cc.o.d"
+  "dram_test_controller"
+  "dram_test_controller.pdb"
+  "dram_test_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

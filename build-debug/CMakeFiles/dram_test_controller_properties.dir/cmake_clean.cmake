@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_controller_properties.dir/tests/dram/test_controller_properties.cc.o"
+  "CMakeFiles/dram_test_controller_properties.dir/tests/dram/test_controller_properties.cc.o.d"
+  "dram_test_controller_properties"
+  "dram_test_controller_properties.pdb"
+  "dram_test_controller_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_controller_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

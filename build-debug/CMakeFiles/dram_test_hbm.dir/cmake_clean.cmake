@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_hbm.dir/tests/dram/test_hbm.cc.o"
+  "CMakeFiles/dram_test_hbm.dir/tests/dram/test_hbm.cc.o.d"
+  "dram_test_hbm"
+  "dram_test_hbm.pdb"
+  "dram_test_hbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_pim_functional.dir/tests/dram/test_pim_functional.cc.o"
+  "CMakeFiles/dram_test_pim_functional.dir/tests/dram/test_pim_functional.cc.o.d"
+  "dram_test_pim_functional"
+  "dram_test_pim_functional.pdb"
+  "dram_test_pim_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_pim_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test_power.dir/tests/dram/test_power.cc.o"
+  "CMakeFiles/dram_test_power.dir/tests/dram/test_power.cc.o.d"
+  "dram_test_power"
+  "dram_test_power.pdb"
+  "dram_test_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

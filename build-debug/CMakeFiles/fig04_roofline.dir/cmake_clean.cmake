@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_roofline.dir/bench/fig04_roofline.cc.o"
+  "CMakeFiles/fig04_roofline.dir/bench/fig04_roofline.cc.o.d"
+  "fig04_roofline"
+  "fig04_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_gpu_utilization.dir/bench/fig05_gpu_utilization.cc.o"
+  "CMakeFiles/fig05_gpu_utilization.dir/bench/fig05_gpu_utilization.cc.o.d"
+  "fig05_gpu_utilization"
+  "fig05_gpu_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_gpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_layer_utilization.dir/bench/fig06_layer_utilization.cc.o"
+  "CMakeFiles/fig06_layer_utilization.dir/bench/fig06_layer_utilization.cc.o.d"
+  "fig06_layer_utilization"
+  "fig06_layer_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_layer_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_command_traffic.dir/bench/fig09_command_traffic.cc.o"
+  "CMakeFiles/fig09_command_traffic.dir/bench/fig09_command_traffic.cc.o.d"
+  "fig09_command_traffic"
+  "fig09_command_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_command_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

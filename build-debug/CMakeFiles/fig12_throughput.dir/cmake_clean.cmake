@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput.dir/bench/fig12_throughput.cc.o"
+  "CMakeFiles/fig12_throughput.dir/bench/fig12_throughput.cc.o.d"
+  "fig12_throughput"
+  "fig12_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

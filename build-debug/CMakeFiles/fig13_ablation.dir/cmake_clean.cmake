@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ablation.dir/bench/fig13_ablation.cc.o"
+  "CMakeFiles/fig13_ablation.dir/bench/fig13_ablation.cc.o.d"
+  "fig13_ablation"
+  "fig13_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

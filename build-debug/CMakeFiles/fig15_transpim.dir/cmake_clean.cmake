@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_transpim.dir/bench/fig15_transpim.cc.o"
+  "CMakeFiles/fig15_transpim.dir/bench/fig15_transpim.cc.o.d"
+  "fig15_transpim"
+  "fig15_transpim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_transpim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_compiler.dir/tests/model/test_compiler.cc.o"
+  "CMakeFiles/model_test_compiler.dir/tests/model/test_compiler.cc.o.d"
+  "model_test_compiler"
+  "model_test_compiler.pdb"
+  "model_test_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

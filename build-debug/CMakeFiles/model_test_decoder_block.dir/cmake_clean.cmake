@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_decoder_block.dir/tests/model/test_decoder_block.cc.o"
+  "CMakeFiles/model_test_decoder_block.dir/tests/model/test_decoder_block.cc.o.d"
+  "model_test_decoder_block"
+  "model_test_decoder_block.pdb"
+  "model_test_decoder_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_decoder_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test_llm_config.dir/tests/model/test_llm_config.cc.o"
+  "CMakeFiles/model_test_llm_config.dir/tests/model/test_llm_config.cc.o.d"
+  "model_test_llm_config"
+  "model_test_llm_config.pdb"
+  "model_test_llm_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test_llm_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

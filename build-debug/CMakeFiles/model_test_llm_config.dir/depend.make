@@ -1,0 +1,2 @@
+# Empty dependencies file for model_test_llm_config.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/area_model.cc" "CMakeFiles/neupims.dir/src/analysis/area_model.cc.o" "gcc" "CMakeFiles/neupims.dir/src/analysis/area_model.cc.o.d"
+  "/root/repo/src/analysis/gpu_util.cc" "CMakeFiles/neupims.dir/src/analysis/gpu_util.cc.o" "gcc" "CMakeFiles/neupims.dir/src/analysis/gpu_util.cc.o.d"
+  "/root/repo/src/analysis/roofline.cc" "CMakeFiles/neupims.dir/src/analysis/roofline.cc.o" "gcc" "CMakeFiles/neupims.dir/src/analysis/roofline.cc.o.d"
+  "/root/repo/src/common/log.cc" "CMakeFiles/neupims.dir/src/common/log.cc.o" "gcc" "CMakeFiles/neupims.dir/src/common/log.cc.o.d"
+  "/root/repo/src/core/batch_builder.cc" "CMakeFiles/neupims.dir/src/core/batch_builder.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/batch_builder.cc.o.d"
+  "/root/repo/src/core/device_config.cc" "CMakeFiles/neupims.dir/src/core/device_config.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/device_config.cc.o.d"
+  "/root/repo/src/core/executor.cc" "CMakeFiles/neupims.dir/src/core/executor.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/executor.cc.o.d"
+  "/root/repo/src/core/gpu_model.cc" "CMakeFiles/neupims.dir/src/core/gpu_model.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/gpu_model.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "CMakeFiles/neupims.dir/src/core/metrics.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/metrics.cc.o.d"
+  "/root/repo/src/core/system.cc" "CMakeFiles/neupims.dir/src/core/system.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/system.cc.o.d"
+  "/root/repo/src/core/transpim_executor.cc" "CMakeFiles/neupims.dir/src/core/transpim_executor.cc.o" "gcc" "CMakeFiles/neupims.dir/src/core/transpim_executor.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "CMakeFiles/neupims.dir/src/dram/channel.cc.o" "gcc" "CMakeFiles/neupims.dir/src/dram/channel.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "CMakeFiles/neupims.dir/src/dram/controller.cc.o" "gcc" "CMakeFiles/neupims.dir/src/dram/controller.cc.o.d"
+  "/root/repo/src/dram/hbm.cc" "CMakeFiles/neupims.dir/src/dram/hbm.cc.o" "gcc" "CMakeFiles/neupims.dir/src/dram/hbm.cc.o.d"
+  "/root/repo/src/dram/pim_functional.cc" "CMakeFiles/neupims.dir/src/dram/pim_functional.cc.o" "gcc" "CMakeFiles/neupims.dir/src/dram/pim_functional.cc.o.d"
+  "/root/repo/src/dram/power_model.cc" "CMakeFiles/neupims.dir/src/dram/power_model.cc.o" "gcc" "CMakeFiles/neupims.dir/src/dram/power_model.cc.o.d"
+  "/root/repo/src/model/compiler.cc" "CMakeFiles/neupims.dir/src/model/compiler.cc.o" "gcc" "CMakeFiles/neupims.dir/src/model/compiler.cc.o.d"
+  "/root/repo/src/model/decoder_block.cc" "CMakeFiles/neupims.dir/src/model/decoder_block.cc.o" "gcc" "CMakeFiles/neupims.dir/src/model/decoder_block.cc.o.d"
+  "/root/repo/src/model/llm_config.cc" "CMakeFiles/neupims.dir/src/model/llm_config.cc.o" "gcc" "CMakeFiles/neupims.dir/src/model/llm_config.cc.o.d"
+  "/root/repo/src/npu/dma.cc" "CMakeFiles/neupims.dir/src/npu/dma.cc.o" "gcc" "CMakeFiles/neupims.dir/src/npu/dma.cc.o.d"
+  "/root/repo/src/npu/systolic_array.cc" "CMakeFiles/neupims.dir/src/npu/systolic_array.cc.o" "gcc" "CMakeFiles/neupims.dir/src/npu/systolic_array.cc.o.d"
+  "/root/repo/src/npu/vector_unit.cc" "CMakeFiles/neupims.dir/src/npu/vector_unit.cc.o" "gcc" "CMakeFiles/neupims.dir/src/npu/vector_unit.cc.o.d"
+  "/root/repo/src/runtime/batch_scheduler.cc" "CMakeFiles/neupims.dir/src/runtime/batch_scheduler.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/batch_scheduler.cc.o.d"
+  "/root/repo/src/runtime/bin_packing.cc" "CMakeFiles/neupims.dir/src/runtime/bin_packing.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/bin_packing.cc.o.d"
+  "/root/repo/src/runtime/kv_cache.cc" "CMakeFiles/neupims.dir/src/runtime/kv_cache.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/kv_cache.cc.o.d"
+  "/root/repo/src/runtime/latency_model.cc" "CMakeFiles/neupims.dir/src/runtime/latency_model.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/latency_model.cc.o.d"
+  "/root/repo/src/runtime/request_pool.cc" "CMakeFiles/neupims.dir/src/runtime/request_pool.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/request_pool.cc.o.d"
+  "/root/repo/src/runtime/sub_batch.cc" "CMakeFiles/neupims.dir/src/runtime/sub_batch.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/sub_batch.cc.o.d"
+  "/root/repo/src/runtime/workload.cc" "CMakeFiles/neupims.dir/src/runtime/workload.cc.o" "gcc" "CMakeFiles/neupims.dir/src/runtime/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

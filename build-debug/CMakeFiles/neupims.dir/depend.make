@@ -1,0 +1,2 @@
+# Empty dependencies file for neupims.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+CMakeFiles/neupims.dir/src/analysis/area_model.cc.o: \
+ /root/repo/src/analysis/area_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/analysis/area_model.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_test_dma.dir/tests/npu/test_dma.cc.o"
+  "CMakeFiles/npu_test_dma.dir/tests/npu/test_dma.cc.o.d"
+  "npu_test_dma"
+  "npu_test_dma.pdb"
+  "npu_test_dma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_test_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_test_scratchpad.dir/tests/npu/test_scratchpad.cc.o"
+  "CMakeFiles/npu_test_scratchpad.dir/tests/npu/test_scratchpad.cc.o.d"
+  "npu_test_scratchpad"
+  "npu_test_scratchpad.pdb"
+  "npu_test_scratchpad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_test_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

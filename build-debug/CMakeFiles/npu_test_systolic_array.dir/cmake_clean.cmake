@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_test_systolic_array.dir/tests/npu/test_systolic_array.cc.o"
+  "CMakeFiles/npu_test_systolic_array.dir/tests/npu/test_systolic_array.cc.o.d"
+  "npu_test_systolic_array"
+  "npu_test_systolic_array.pdb"
+  "npu_test_systolic_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_test_systolic_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

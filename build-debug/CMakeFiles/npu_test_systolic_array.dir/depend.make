@@ -1,0 +1,2 @@
+# Empty dependencies file for npu_test_systolic_array.
+# This may be replaced when dependencies are built.

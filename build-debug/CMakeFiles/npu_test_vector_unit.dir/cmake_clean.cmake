@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_test_vector_unit.dir/tests/npu/test_vector_unit.cc.o"
+  "CMakeFiles/npu_test_vector_unit.dir/tests/npu/test_vector_unit.cc.o.d"
+  "npu_test_vector_unit"
+  "npu_test_vector_unit.pdb"
+  "npu_test_vector_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_test_vector_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

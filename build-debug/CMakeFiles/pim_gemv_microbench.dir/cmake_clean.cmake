@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_gemv_microbench.dir/examples/pim_gemv_microbench.cpp.o"
+  "CMakeFiles/pim_gemv_microbench.dir/examples/pim_gemv_microbench.cpp.o.d"
+  "pim_gemv_microbench"
+  "pim_gemv_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_gemv_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test_algorithms.dir/tests/runtime/test_algorithms.cc.o"
+  "CMakeFiles/runtime_test_algorithms.dir/tests/runtime/test_algorithms.cc.o.d"
+  "runtime_test_algorithms"
+  "runtime_test_algorithms.pdb"
+  "runtime_test_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test_batch_scheduler.dir/tests/runtime/test_batch_scheduler.cc.o"
+  "CMakeFiles/runtime_test_batch_scheduler.dir/tests/runtime/test_batch_scheduler.cc.o.d"
+  "runtime_test_batch_scheduler"
+  "runtime_test_batch_scheduler.pdb"
+  "runtime_test_batch_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test_batch_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

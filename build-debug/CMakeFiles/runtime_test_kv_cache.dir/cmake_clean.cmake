@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test_kv_cache.dir/tests/runtime/test_kv_cache.cc.o"
+  "CMakeFiles/runtime_test_kv_cache.dir/tests/runtime/test_kv_cache.cc.o.d"
+  "runtime_test_kv_cache"
+  "runtime_test_kv_cache.pdb"
+  "runtime_test_kv_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test_kv_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

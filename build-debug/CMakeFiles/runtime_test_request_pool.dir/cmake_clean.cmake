@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test_request_pool.dir/tests/runtime/test_request_pool.cc.o"
+  "CMakeFiles/runtime_test_request_pool.dir/tests/runtime/test_request_pool.cc.o.d"
+  "runtime_test_request_pool"
+  "runtime_test_request_pool.pdb"
+  "runtime_test_request_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test_request_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

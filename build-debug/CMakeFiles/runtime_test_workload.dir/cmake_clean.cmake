@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test_workload.dir/tests/runtime/test_workload.cc.o"
+  "CMakeFiles/runtime_test_workload.dir/tests/runtime/test_workload.cc.o.d"
+  "runtime_test_workload"
+  "runtime_test_workload.pdb"
+  "runtime_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_utilization.dir/bench/tab04_utilization.cc.o"
+  "CMakeFiles/tab04_utilization.dir/bench/tab04_utilization.cc.o.d"
+  "tab04_utilization"
+  "tab04_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

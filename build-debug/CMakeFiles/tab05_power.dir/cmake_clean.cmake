@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_power.dir/bench/tab05_power.cc.o"
+  "CMakeFiles/tab05_power.dir/bench/tab05_power.cc.o.d"
+  "tab05_power"
+  "tab05_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
