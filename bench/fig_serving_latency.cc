@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Serving-latency sweep (beyond the paper: dynamic load rather than
+ * §8.1's warmed static batches): drives the closed-loop serving
+ * engine across all four backends (NPU-only, NPU+PIM, NeuPIMs,
+ * NeuPIMs+SBI), the three traffic models (poisson, bursty, replay)
+ * and both datasets (ShareGPT, Alpaca) at three offered-load levels,
+ * and emits BENCH_serving.json with p50/p95/p99 TTFT + end-to-end
+ * latency and SLO-attainment curves per configuration.
+ *
+ * Load levels are fractions of the nominal per-dataset rate (roughly
+ * the strongest backend's comfortable operating point), so 0.7x is a
+ * lightly-loaded system, 1.4x runs past the weaker backends' knees,
+ * and 2.8x drives every backend into queueing — the regime where the
+ * four designs' batch growth, KV pressure and SLO tails separate.
+ *
+ * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
+ * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/serving_setup.h"
+#include "runtime/serving_engine.h"
+#include "runtime/traffic.h"
+
+using namespace neupims;
+
+namespace {
+
+/** Nominal capacity request rate per dataset (requests/second). */
+double
+nominalRate(const runtime::DatasetConfig &ds)
+{
+    return ds.name == "Alpaca" ? 440.0 : 64.0;
+}
+
+/** TTFT SLO budgets (ms) and per-token SLO budgets (ms/token). */
+const std::vector<double> kTtftBudgetsMs = {10, 25, 50, 100, 250,
+                                            500, 1000};
+const std::vector<double> kPerTokenBudgetsMs = {5,  7.5, 10, 15,
+                                                25, 50,  100};
+
+void
+emitJsonArray(std::FILE *f, const char *key,
+              const std::vector<double> &values, const char *indent)
+{
+    std::fprintf(f, "%s\"%s\": [", indent, key);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        std::fprintf(f, "%s%g", i ? ", " : "", values[i]);
+    std::fprintf(f, "]");
+}
+
+void
+emitLatency(std::FILE *f, const char *key,
+            const runtime::LatencyStats &stats, double unit_scale,
+            bool trailing_comma)
+{
+    std::fprintf(f,
+                 "        \"%s\": {\"p50\": %.3f, \"p95\": %.3f, "
+                 "\"p99\": %.3f, \"mean\": %.3f, \"max\": %.3f}%s\n",
+                 key, stats.p50() * unit_scale,
+                 stats.p95() * unit_scale, stats.p99() * unit_scale,
+                 stats.mean() * unit_scale,
+                 stats.maxValue() * unit_scale,
+                 trailing_comma ? "," : "");
+}
+
+} // namespace
+
+int
+main()
+{
+    auto llm = model::gpt3_13b();
+    int requests = 448;
+    std::vector<double> loads = {0.7, 1.4, 2.8};
+    if (bench::fastMode()) {
+        requests = 128;
+        loads = {1.4};
+    }
+    std::uint64_t seed = bench::benchSeed();
+
+    std::printf("=== Serving latency under live traffic (%s, %d "
+                "requests, seed %llu) ===\n\n",
+                llm.name.c_str(), requests,
+                static_cast<unsigned long long>(seed));
+    std::printf("%-12s %-8s %-9s %5s %6s %9s | %8s %8s %8s | %8s | "
+                "%s\n",
+                "backend", "traffic", "dataset", "load", "batch",
+                "tok/s", "ttft-p50", "ttft-p95", "ttft-p99",
+                "e2e-p99", "SLO(ttft<100ms)");
+
+    std::FILE *json = std::fopen("BENCH_serving.json", "w");
+    if (!json)
+        fatal("cannot open BENCH_serving.json for writing");
+    std::fprintf(json,
+                 "{\n  \"bench\": \"serving_latency\",\n"
+                 "  \"model\": \"%s\",\n  \"requests\": %d,\n"
+                 "  \"seed\": %llu,\n",
+                 llm.name.c_str(), requests,
+                 static_cast<unsigned long long>(seed));
+    emitJsonArray(json, "ttft_budgets_ms", kTtftBudgetsMs, "  ");
+    std::fprintf(json, ",\n");
+    emitJsonArray(json, "per_token_budgets_ms", kPerTokenBudgetsMs,
+                  "  ");
+    std::fprintf(json, ",\n  \"configs\": [\n");
+
+    bool first = true;
+    for (const auto &backend : core::standardServingBackends()) {
+        auto latency = core::makeIterationModel(backend.device, llm);
+        for (const auto &ds_name : {"ShareGPT", "Alpaca"}) {
+            auto ds = bench::datasetByName(ds_name);
+            for (const auto &kind : runtime::standardTrafficKinds()) {
+                for (double load : loads) {
+                    double rate = nominalRate(ds) * load;
+                    auto traffic = runtime::makeTraffic(
+                        kind, ds, rate, requests, seed);
+                    auto cfg =
+                        core::servingConfigFor(backend.device, llm);
+                    runtime::ServingEngine engine(cfg, *traffic,
+                                                  *latency);
+                    auto report = engine.run();
+
+                    auto ttft_curve = report.ttftUs.attainmentCurve(
+                        [&] {
+                            std::vector<double> t;
+                            for (double ms : kTtftBudgetsMs)
+                                t.push_back(ms * 1e3); // us
+                            return t;
+                        }());
+                    auto tok_curve = report.perTokenMs.attainmentCurve(
+                        kPerTokenBudgetsMs);
+
+                    std::printf(
+                        "%-12s %-8s %-9s %4.1fx %6.1f %9.0f | %8.1f "
+                        "%8.1f %8.1f | %8.0f | %5.1f%%\n",
+                        backend.name.c_str(), kind.c_str(),
+                        ds.name.c_str(), load, report.meanBatchSize,
+                        report.tokensPerSecond(),
+                        report.ttftUs.p50() / 1e3,
+                        report.ttftUs.p95() / 1e3,
+                        report.ttftUs.p99() / 1e3,
+                        report.e2eUs.p99() / 1e3,
+                        report.ttftUs.attainment(100e3) * 100.0);
+
+                    std::fprintf(
+                        json,
+                        "%s    {\n      \"backend\": \"%s\", "
+                        "\"traffic\": \"%s\", \"dataset\": \"%s\",\n"
+                        "      \"load\": %.2f, \"rate_rps\": %.2f,\n"
+                        "      \"completed\": %d, \"dropped\": %d, "
+                        "\"makespan_ms\": %.3f,\n"
+                        "      \"tokens_per_s\": %.1f, "
+                        "\"mean_batch\": %.2f,\n",
+                        first ? "" : ",\n", backend.name.c_str(),
+                        kind.c_str(), ds.name.c_str(), load, rate,
+                        report.requestsCompleted,
+                        report.requestsDropped,
+                        cyclesToMicros(report.makespanCycles) / 1e3,
+                        report.tokensPerSecond(),
+                        report.meanBatchSize);
+                    emitLatency(json, "ttft_ms", report.ttftUs, 1e-3,
+                                true);
+                    emitLatency(json, "e2e_ms", report.e2eUs, 1e-3,
+                                true);
+                    emitLatency(json, "tbt_ms", report.tbtUs, 1e-3,
+                                true);
+                    emitLatency(json, "per_token_ms",
+                                report.perTokenMs, 1.0, true);
+                    std::vector<double> a1, a2;
+                    for (const auto &p : ttft_curve)
+                        a1.push_back(p.attainment);
+                    for (const auto &p : tok_curve)
+                        a2.push_back(p.attainment);
+                    emitJsonArray(json, "ttft_slo_attainment", a1,
+                                  "      ");
+                    std::fprintf(json, ",\n");
+                    emitJsonArray(json, "per_token_slo_attainment",
+                                  a2, "      ");
+                    std::fprintf(json, "\n    }");
+                    first = false;
+                }
+            }
+        }
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_serving.json\n");
+    return 0;
+}

@@ -85,6 +85,22 @@ buildComposition(const std::vector<runtime::SequenceSample> &samples,
     return out;
 }
 
+bool
+usesSubBatchInterleaving(const DeviceConfig &cfg,
+                         const BatchComposition &batch)
+{
+    if (!cfg.flags.subBatchInterleaving)
+        return false;
+    auto count = [](const std::vector<std::vector<int>> &b) {
+        int n = 0;
+        for (const auto &ch : b)
+            n += static_cast<int>(ch.size());
+        return n;
+    };
+    return count(batch.sb1) > 0 && count(batch.sb2) > 0 &&
+           batch.batchSize() >= cfg.sbiMinBatch;
+}
+
 BatchComposition
 uniformComposition(int batch, int seq_len, int channels)
 {

@@ -46,6 +46,16 @@ runtime::MhaLatencyParams
 latencyParamsFor(const DeviceConfig &cfg, const model::LlmConfig &model,
                  int tp);
 
+/**
+ * Whether @p cfg executes @p batch with sub-batch interleaving: the
+ * flag is set, both Algorithm-3 sub-batches are non-empty, and the
+ * batch clears the sbiMinBatch fallback threshold (§8.2). The single
+ * SBI gate shared by the cycle-accurate executor and the analytic
+ * iteration model, so the two can never disagree on the mode.
+ */
+bool usesSubBatchInterleaving(const DeviceConfig &cfg,
+                              const BatchComposition &batch);
+
 } // namespace neupims::core
 
 #endif // NEUPIMS_CORE_BATCH_BUILDER_H_

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/log.h"
+#include "core/batch_builder.h"
 #include "npu/scratchpad.h"
 
 namespace neupims::core {
@@ -83,16 +84,7 @@ class IterationSim
           npu_(*ex.npu_), dma_(*ex.dma_), windowLayers_(window_layers),
           warmupLayers_(warmup_layers)
     {
-        auto count = [](const std::vector<std::vector<int>> &b) {
-            int n = 0;
-            for (const auto &ch : b)
-                n += static_cast<int>(ch.size());
-            return n;
-        };
-        bool sbi = cfg_.flags.subBatchInterleaving &&
-                   count(batch.sb1) > 0 && count(batch.sb2) > 0 &&
-                   batch.batchSize() >= cfg_.sbiMinBatch;
-        if (sbi) {
+        if (usesSubBatchInterleaving(cfg_, batch)) {
             threads_.emplace_back(
                 ex.compiler_.compileLayer(batch.sb1));
             threads_.emplace_back(

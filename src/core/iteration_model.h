@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Iteration-latency models backing the serving engine
+ * (runtime/serving_engine.h): map one iteration's batch composition
+ * to simulated cycles.
+ *
+ *  - AnalyticIterationModel: closed-form composition of the same
+ *    per-phase cost functions the event-driven engine executes — the
+ *    compiler's LayerPlan work units, the systolic-array tile model,
+ *    the Algorithm-1 PIM MHA estimate and a bandwidth model of the
+ *    weight/KV streams — with per-backend phase composition rules
+ *    (serial sum vs SBI overlap). Microseconds per iteration instead
+ *    of seconds, which is what makes thousand-iteration serving
+ *    sweeps tractable; accuracy against the engine is a constant
+ *    factor absorbed by calibrate() (DESIGN.md §6).
+ *
+ *  - MeasuredIterationModel: the cycle-accurate DeviceExecutor
+ *    itself, memoized on a (optionally sequence-length-quantized)
+ *    composition key so a serving run's slowly-drifting batches hit
+ *    the cache.
+ */
+
+#ifndef NEUPIMS_CORE_ITERATION_MODEL_H_
+#define NEUPIMS_CORE_ITERATION_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch_builder.h"
+#include "core/device_config.h"
+#include "core/executor.h"
+#include "runtime/serving_engine.h"
+
+namespace neupims::core {
+
+class AnalyticIterationModel : public runtime::IterationLatencyModel
+{
+  public:
+    AnalyticIterationModel(const DeviceConfig &cfg,
+                           const model::LlmConfig &model, int tp,
+                           int layers_per_device);
+
+    const std::string &name() const override { return name_; }
+
+    Cycle
+    iterationCycles(const runtime::IterationSchedule &schedule) override;
+
+    /** Composition-level entry (benches, calibration, tests). */
+    Cycle iterationCyclesFor(const BatchComposition &comp);
+
+    /** Steady-state per-layer cycles for @p comp. */
+    Cycle perLayerCyclesFor(const BatchComposition &comp);
+
+    /**
+     * Scale so one DeviceExecutor measurement of a uniform
+     * @p batch x @p seq_len composition matches the analytic value
+     * exactly at that point; everything else scales with it.
+     * @return the calibration factor applied.
+     */
+    double calibrate(int batch, int seq_len, int window_layers = 0);
+
+    double scale() const { return scale_; }
+    void setScale(double scale) { scale_ = scale; }
+
+  private:
+    /** Cycles of one layer executed serially (no SBI). */
+    double serialLayerCycles(const model::LayerPlan &plan,
+                             bool allow_prefetch) const;
+    /** Cycles of one steady-state layer under sub-batch interleaving. */
+    double sbiLayerCycles(const model::LayerPlan &sb1,
+                          const model::LayerPlan &sb2) const;
+
+    /** GEMM phase: max(systolic compute, weight stream). */
+    double gemmPhaseCycles(const model::GemmWork &gemm,
+                           Bytes prefetched_bytes) const;
+    /** Dense stream of @p bytes page-interleaved over all channels. */
+    double denseStreamCycles(Bytes bytes) const;
+    /** MHA phase cycles of @p plan for this device's MHA path. */
+    double mhaCycles(const model::LayerPlan &plan) const;
+
+    std::string name_;
+    DeviceConfig cfg_;
+    model::LlmConfig model_;
+    int tp_;
+    int layersPerDevice_;
+    model::Compiler compiler_;
+    npu::SystolicArrayPool saPool_;
+    npu::VectorUnitPool vuPool_;
+    runtime::MhaLatencyEstimator estimator_;
+    double scale_ = 1.0;
+};
+
+class MeasuredIterationModel : public runtime::IterationLatencyModel
+{
+  public:
+    /**
+     * @param quantize_seq round every sequence length up to this
+     *        multiple before simulating, so drifting serving batches
+     *        reuse measurements (1 = exact; then nearly every
+     *        iteration is a cache miss costing seconds).
+     */
+    MeasuredIterationModel(const DeviceConfig &cfg,
+                           const model::LlmConfig &model, int tp,
+                           int layers_per_device, int quantize_seq = 64);
+
+    const std::string &name() const override { return name_; }
+
+    Cycle
+    iterationCycles(const runtime::IterationSchedule &schedule) override;
+
+    Cycle iterationCyclesFor(const BatchComposition &comp);
+
+    std::uint64_t cacheHits() const { return hits_; }
+    std::uint64_t cacheMisses() const { return misses_; }
+
+  private:
+    BatchComposition quantized(const BatchComposition &comp) const;
+
+    std::string name_;
+    DeviceExecutor executor_;
+    int quantizeSeq_;
+    std::map<std::vector<std::vector<int>>, Cycle> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Build @p schedule's composition (full batch + Algorithm-3 subs). */
+BatchComposition
+compositionOf(const runtime::IterationSchedule &schedule);
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_ITERATION_MODEL_H_

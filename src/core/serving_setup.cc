@@ -1,0 +1,72 @@
+#include "core/serving_setup.h"
+
+#include "common/log.h"
+
+namespace neupims::core {
+
+const std::vector<ServingBackend> &
+standardServingBackends()
+{
+    static const std::vector<ServingBackend> backends = [] {
+        std::vector<ServingBackend> b;
+        b.push_back({"NPU-only", DeviceConfig::npuOnly()});
+        b.push_back({"NPU+PIM", DeviceConfig::naiveNpuPim()});
+        DeviceConfig serial = DeviceConfig::neuPims();
+        serial.flags.subBatchInterleaving = false;
+        serial.name = "NeuPIMs";
+        b.push_back({"NeuPIMs", serial});
+        DeviceConfig sbi = DeviceConfig::neuPims();
+        sbi.name = "NeuPIMs+SBI";
+        b.push_back({"NeuPIMs+SBI", sbi});
+        return b;
+    }();
+    return backends;
+}
+
+const ServingBackend &
+servingBackendByName(const std::string &name)
+{
+    for (const auto &b : standardServingBackends()) {
+        if (b.name == name)
+            return b;
+    }
+    fatal("unknown serving backend '", name,
+          "' (expected NPU-only|NPU+PIM|NeuPIMs|NeuPIMs+SBI)");
+}
+
+runtime::ServingConfig
+servingConfigFor(const DeviceConfig &dev, const model::LlmConfig &llm,
+                 int max_batch)
+{
+    int tp = llm.defaultTp;
+    runtime::ServingConfig cfg;
+    cfg.kv.channels = dev.org.channels;
+    cfg.kv.bytesPerChannel = dev.org.channelCapacity * 3 / 4;
+    cfg.kv.bytesPerTokenPerLayer = llm.kvBytesPerTokenPerLayer(tp);
+    cfg.kv.layers = llm.layersPerDevice(llm.defaultPp);
+    cfg.scheduler.channels = dev.org.channels;
+    cfg.scheduler.maxBatch = max_batch;
+    cfg.scheduler.minLoadPacking = dev.flags.minLoadPacking;
+    cfg.scheduler.estimator = latencyParamsFor(dev, llm, tp);
+    return cfg;
+}
+
+std::unique_ptr<runtime::IterationLatencyModel>
+makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
+                   bool measured, int quantize_seq)
+{
+    int layers = llm.layersPerDevice(llm.defaultPp);
+    if (measured) {
+        // The serving engine replays the memoized executor on
+        // quantized compositions; symmetry folding keeps each miss
+        // tractable.
+        DeviceConfig dev2 = dev;
+        dev2.flags.channelSymmetry = true;
+        return std::make_unique<MeasuredIterationModel>(
+            dev2, llm, llm.defaultTp, layers, quantize_seq);
+    }
+    return std::make_unique<AnalyticIterationModel>(
+        dev, llm, llm.defaultTp, layers);
+}
+
+} // namespace neupims::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared wiring for serving-engine drivers (examples/serve_trace,
+ * bench/fig_serving_latency, tests): the four standard serving
+ * backends, scheduler/KV configuration derived from a device+model
+ * pair, and iteration-latency model construction.
+ */
+
+#ifndef NEUPIMS_CORE_SERVING_SETUP_H_
+#define NEUPIMS_CORE_SERVING_SETUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/iteration_model.h"
+
+namespace neupims::core {
+
+/** One serving backend: a named device configuration. */
+struct ServingBackend
+{
+    std::string name;
+    DeviceConfig device;
+};
+
+/**
+ * The four systems the serving sweeps compare: NPU-only, the serial
+ * naive NPU+PIM baseline, NeuPIMs without sub-batch interleaving, and
+ * full NeuPIMs with SBI.
+ */
+const std::vector<ServingBackend> &standardServingBackends();
+
+/** Look up a standard backend by name; fatal() on unknown names. */
+const ServingBackend &servingBackendByName(const std::string &name);
+
+/**
+ * Scheduler + KV configuration for serving @p llm on @p dev:
+ * Orca-style admission up to @p max_batch, the device's channel count
+ * and packing policy, Algorithm-1 estimator parameters, and 3/4 of
+ * each channel's capacity reserved for KV pages (the rest holds
+ * weights), as the §8.1 setup assumes.
+ */
+runtime::ServingConfig
+servingConfigFor(const DeviceConfig &dev, const model::LlmConfig &llm,
+                 int max_batch = 256);
+
+/**
+ * Build the iteration-latency model for a backend: analytic by
+ * default, the memoized cycle-accurate executor when @p measured.
+ */
+std::unique_ptr<runtime::IterationLatencyModel>
+makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
+                   bool measured = false, int quantize_seq = 64);
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_SERVING_SETUP_H_

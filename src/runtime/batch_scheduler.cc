@@ -7,15 +7,33 @@
 namespace neupims::runtime {
 
 std::vector<std::vector<int>>
-IterationSchedule::seqLensPerChannel() const
+seqLensOf(const std::vector<std::vector<Request *>> &per_channel)
 {
-    std::vector<std::vector<int>> lens(perChannel.size());
-    for (std::size_t ch = 0; ch < perChannel.size(); ++ch) {
-        lens[ch].reserve(perChannel[ch].size());
-        for (const Request *req : perChannel[ch])
+    std::vector<std::vector<int>> lens(per_channel.size());
+    for (std::size_t ch = 0; ch < per_channel.size(); ++ch) {
+        lens[ch].reserve(per_channel[ch].size());
+        for (const Request *req : per_channel[ch])
             lens[ch].push_back(req->currentSeqLen());
     }
     return lens;
+}
+
+std::vector<std::vector<int>>
+IterationSchedule::seqLensPerChannel() const
+{
+    return seqLensOf(perChannel);
+}
+
+std::vector<std::vector<int>>
+IterationSchedule::seqLensOfSubBatch1() const
+{
+    return seqLensOf(subBatches.sb1);
+}
+
+std::vector<std::vector<int>>
+IterationSchedule::seqLensOfSubBatch2() const
+{
+    return seqLensOf(subBatches.sb2);
 }
 
 BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,

@@ -43,7 +43,15 @@ struct IterationSchedule
 
     /** Current sequence lengths grouped by channel (compiler input). */
     std::vector<std::vector<int>> seqLensPerChannel() const;
+
+    /** Sequence lengths of each sub-batch, grouped by channel. */
+    std::vector<std::vector<int>> seqLensOfSubBatch1() const;
+    std::vector<std::vector<int>> seqLensOfSubBatch2() const;
 };
+
+/** Current sequence lengths of channel-grouped request lists. */
+std::vector<std::vector<int>>
+seqLensOf(const std::vector<std::vector<Request *>> &per_channel);
 
 class BatchScheduler
 {

@@ -1,0 +1,85 @@
+#include "runtime/latency_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+void
+LatencyStats::record(double sample)
+{
+    samples_.push_back(sample);
+    dirty_ = true;
+}
+
+double
+LatencyStats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+LatencyStats::maxValue() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+const std::vector<double> &
+LatencyStats::sorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+    return sorted_;
+}
+
+double
+LatencyStats::percentile(double p) const
+{
+    NEUPIMS_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p);
+    const auto &s = sorted();
+    if (s.empty())
+        return 0.0;
+    if (s.size() == 1)
+        return s[0];
+    // Linear interpolation between closest ranks.
+    double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+double
+LatencyStats::attainment(double threshold) const
+{
+    const auto &s = sorted();
+    if (s.empty())
+        return 1.0;
+    auto it = std::upper_bound(s.begin(), s.end(), threshold);
+    return static_cast<double>(it - s.begin()) /
+           static_cast<double>(s.size());
+}
+
+std::vector<SloPoint>
+LatencyStats::attainmentCurve(const std::vector<double> &thresholds) const
+{
+    std::vector<SloPoint> curve;
+    curve.reserve(thresholds.size());
+    for (double t : thresholds)
+        curve.push_back(SloPoint{t, attainment(t)});
+    return curve;
+}
+
+} // namespace neupims::runtime

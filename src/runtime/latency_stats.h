@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-request latency statistics for the serving engine: percentile
+ * summaries (p50/p95/p99) and SLO-attainment curves over TTFT,
+ * time-between-tokens and end-to-end latency samples.
+ *
+ * Samples are stored exactly (a serving run is at most a few thousand
+ * requests) so percentiles are true order statistics, not sketch
+ * approximations — the regression tests diff them byte-for-byte.
+ */
+
+#ifndef NEUPIMS_RUNTIME_LATENCY_STATS_H_
+#define NEUPIMS_RUNTIME_LATENCY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace neupims::runtime {
+
+/** One point of an SLO-attainment curve. */
+struct SloPoint
+{
+    double threshold = 0.0; ///< latency budget (same unit as samples)
+    double attainment = 0.0; ///< fraction of samples within budget
+};
+
+class LatencyStats
+{
+  public:
+    void record(double sample);
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double maxValue() const;
+
+    /**
+     * Percentile @p p in [0, 100] by linear interpolation between
+     * order statistics (the common "inclusive" definition). 0 with no
+     * samples.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** Fraction of samples <= @p threshold (1.0 with no samples). */
+    double attainment(double threshold) const;
+
+    /** Attainment at each threshold, in the given order. */
+    std::vector<SloPoint>
+    attainmentCurve(const std::vector<double> &thresholds) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    const std::vector<double> &sorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_; ///< rebuilt lazily
+    mutable bool dirty_ = false;
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_LATENCY_STATS_H_

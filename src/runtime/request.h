@@ -18,6 +18,7 @@ enum class RequestStatus : std::uint8_t
     Waiting, ///< queued, not yet admitted to the batch
     Running, ///< in the active batch, generating
     Done,    ///< produced all output tokens
+    Dropped, ///< rejected: can never fit the device's KV cache
 };
 
 struct Request
@@ -28,6 +29,36 @@ struct Request
     int generatedTokens = 0;  ///< tokens produced so far
     ChannelId channel = kInvalidId; ///< PIM channel holding its KV cache
     RequestStatus status = RequestStatus::Waiting;
+
+    // --- serving timeline (simulated cycles; kCycleMax = not yet) ----
+    Cycle arrivalCycle = 0;           ///< entered the request pool
+    Cycle admitCycle = kCycleMax;     ///< joined the running batch
+    Cycle firstTokenCycle = kCycleMax; ///< first output token done
+    Cycle finishCycle = kCycleMax;    ///< last output token done
+
+    /** Time to first token; @pre firstTokenCycle is stamped. */
+    Cycle
+    ttft() const
+    {
+        return firstTokenCycle - arrivalCycle;
+    }
+
+    /** End-to-end latency; @pre finishCycle is stamped. */
+    Cycle
+    endToEnd() const
+    {
+        return finishCycle - arrivalCycle;
+    }
+
+    /** Mean time between output tokens after the first. */
+    double
+    timeBetweenTokens() const
+    {
+        if (outputLength <= 1)
+            return 0.0;
+        return static_cast<double>(finishCycle - firstTokenCycle) /
+               static_cast<double>(outputLength - 1);
+    }
 
     /** Current KV-cache length: prompt plus generated tokens. */
     int

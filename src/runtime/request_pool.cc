@@ -19,6 +19,38 @@ RequestPool::submit(int input_length, int output_length)
     return req.id;
 }
 
+RequestId
+RequestPool::submitAt(Cycle arrival, int input_length,
+                      int output_length)
+{
+    RequestId id = submit(input_length, output_length);
+    all_[id].arrivalCycle = arrival;
+    // submit() queued it as already-waiting; take it back out and
+    // park it until the clock reaches its arrival.
+    NEUPIMS_ASSERT(waiting_.back() == id);
+    waiting_.pop_back();
+    pending_.push(PendingArrival{arrival, id});
+    return id;
+}
+
+int
+RequestPool::releaseArrivals(Cycle now)
+{
+    int released = 0;
+    while (!pending_.empty() && pending_.top().arrival <= now) {
+        waiting_.push_back(pending_.top().id);
+        pending_.pop();
+        ++released;
+    }
+    return released;
+}
+
+Cycle
+RequestPool::nextArrivalCycle() const
+{
+    return pending_.empty() ? kCycleMax : pending_.top().arrival;
+}
+
 std::vector<RequestId>
 RequestPool::admit(std::size_t max_new)
 {
@@ -41,6 +73,16 @@ RequestPool::requeue(RequestId id)
     running_.erase(it);
     all_[id].status = RequestStatus::Waiting;
     waiting_.push_front(id);
+}
+
+RequestId
+RequestPool::dropWaitingHead()
+{
+    NEUPIMS_ASSERT(!waiting_.empty());
+    RequestId id = waiting_.front();
+    waiting_.pop_front();
+    all_[id].status = RequestStatus::Dropped;
+    return id;
 }
 
 std::vector<Request *>
@@ -74,6 +116,14 @@ RequestPool::completeIteration()
 
 Request &
 RequestPool::request(RequestId id)
+{
+    NEUPIMS_ASSERT(id >= 0 &&
+                   id < static_cast<RequestId>(all_.size()));
+    return all_[id];
+}
+
+const Request &
+RequestPool::request(RequestId id) const
 {
     NEUPIMS_ASSERT(id >= 0 &&
                    id < static_cast<RequestId>(all_.size()));

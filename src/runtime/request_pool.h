@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <queue>
 #include <vector>
 
 #include "runtime/request.h"
@@ -21,6 +22,29 @@ class RequestPool
   public:
     /** Submit a new request; returns its id. */
     RequestId submit(int input_length, int output_length);
+
+    /**
+     * Submit a request that arrives at simulated cycle @p arrival. It
+     * stays pending — invisible to admission — until
+     * releaseArrivals(now) with now >= arrival moves it to the waiting
+     * queue. Arrivals may be submitted in any time order; release is
+     * always time-ordered (ties broken by submission order).
+     */
+    RequestId submitAt(Cycle arrival, int input_length,
+                       int output_length);
+
+    /**
+     * Move every pending request with arrivalCycle <= @p now into the
+     * waiting queue, in (arrival, submission) order.
+     * @return number of requests released.
+     */
+    int releaseArrivals(Cycle now);
+
+    /** Earliest pending arrival cycle, or kCycleMax if none. */
+    Cycle nextArrivalCycle() const;
+
+    /** Requests submitted but not yet arrived. */
+    std::size_t pendingCount() const { return pending_.size(); }
 
     /** Requests waiting for admission, FIFO order. */
     std::size_t waitingCount() const { return waiting_.size(); }
@@ -40,6 +64,13 @@ class RequestPool
      */
     void requeue(RequestId id);
 
+    /**
+     * Reject the head of the waiting queue (a request no schedule can
+     * ever place, e.g. its prompt exceeds every channel's KV
+     * capacity). @return its id. @pre waitingCount() > 0
+     */
+    RequestId dropWaitingHead();
+
     /** Pointers to the running batch (stable for this iteration). */
     std::vector<Request *> runningRequests();
 
@@ -50,11 +81,30 @@ class RequestPool
     std::vector<RequestId> completeIteration();
 
     Request &request(RequestId id);
+    const Request &request(RequestId id) const;
 
     std::uint64_t totalGeneratedTokens() const { return totalTokens_; }
 
   private:
+    /** Pending arrival ordered by (arrival cycle, submission seq). */
+    struct PendingArrival
+    {
+        Cycle arrival;
+        RequestId id;
+
+        bool
+        operator>(const PendingArrival &other) const
+        {
+            if (arrival != other.arrival)
+                return arrival > other.arrival;
+            return id > other.id;
+        }
+    };
+
     std::vector<Request> all_; ///< indexed by RequestId
+    std::priority_queue<PendingArrival, std::vector<PendingArrival>,
+                        std::greater<>>
+        pending_; ///< submitted, not yet arrived
     std::deque<RequestId> waiting_;
     std::vector<RequestId> running_;
     std::uint64_t completed_ = 0;

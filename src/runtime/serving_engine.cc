@@ -1,0 +1,147 @@
+#include "runtime/serving_engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+double
+ServingReport::tokensPerSecond() const
+{
+    if (makespanCycles == 0)
+        return 0.0;
+    return static_cast<double>(generatedTokens) /
+           cyclesToSeconds(makespanCycles);
+}
+
+ServingEngine::ServingEngine(const ServingConfig &cfg,
+                             TrafficModel &traffic,
+                             IterationLatencyModel &latency)
+    : cfg_(cfg), traffic_(traffic), latency_(latency), kv_(cfg.kv),
+      scheduler_(cfg.scheduler, pool_, kv_)
+{}
+
+ServingReport
+ServingEngine::run()
+{
+    NEUPIMS_ASSERT(!ran_, "ServingEngine::run is one-shot");
+    ran_ = true;
+
+    ServingReport report;
+    report.traffic = traffic_.name();
+
+    // Open-loop arrivals: the whole trace is independent of service,
+    // so it can be drained into the pool's time-ordered pending queue
+    // up front.
+    while (auto ev = traffic_.next()) {
+        pool_.submitAt(ev->time, ev->inputLength, ev->outputLength);
+        ++report.requestsSubmitted;
+    }
+
+    Cycle now = 0;
+    int iteration = 0;
+    std::uint64_t batchSum = 0;
+    while (true) {
+        pool_.releaseArrivals(now);
+
+        if (pool_.waitingCount() == 0 && pool_.runningCount() == 0) {
+            Cycle next_arrival = pool_.nextArrivalCycle();
+            if (next_arrival == kCycleMax)
+                break; // served everything
+            // Idle: fast-forward the clock to the next arrival.
+            now = std::max(now, next_arrival);
+            continue;
+        }
+
+        auto schedule = scheduler_.scheduleIteration();
+        if (schedule.batchSize() == 0) {
+            // Nothing running and the head waiting request cannot be
+            // placed on any channel even with the device empty — it
+            // can never be served. Reject it rather than livelock.
+            NEUPIMS_ASSERT(pool_.waitingCount() > 0);
+            pool_.dropWaitingHead();
+            ++report.requestsDropped;
+            continue;
+        }
+
+        Cycle iter_cycles = latency_.iterationCycles(schedule);
+        NEUPIMS_ASSERT(iter_cycles > 0, "iteration latency must advance "
+                                        "time");
+        Cycle iter_end = now + iter_cycles;
+
+        double max_load = 0.0;
+        for (double l : schedule.channelLoads)
+            max_load = std::max(max_load, l);
+
+        // Stamp the serving timeline. Requests admitted this iteration
+        // were picked up at the iteration boundary `now`; every
+        // running request emits one token when the iteration
+        // completes; a request emitting its last token finishes.
+        for (Request *req : schedule.batch) {
+            if (req->admitCycle == kCycleMax)
+                req->admitCycle = now;
+            if (req->generatedTokens == 0)
+                req->firstTokenCycle = iter_end;
+            if (req->generatedTokens + 1 >= req->outputLength)
+                req->finishCycle = iter_end;
+        }
+
+        int retired = scheduler_.completeIteration();
+
+        if (cfg_.recordTrace) {
+            IterationTraceRow row;
+            row.iteration = iteration;
+            row.startCycle = now;
+            row.iterationCycles = iter_cycles;
+            row.batch = schedule.batchSize();
+            row.admitted = schedule.admitted;
+            row.retired = retired;
+            row.waiting = static_cast<int>(pool_.waitingCount());
+            row.maxChannelLoad = max_load;
+            row.kvUtilization = kv_.utilization();
+            trace_.push_back(row);
+        }
+
+        batchSum += static_cast<std::uint64_t>(schedule.batchSize());
+        now = iter_end;
+        ++iteration;
+
+        if (now > cfg_.maxCycles ||
+            (cfg_.maxIterations > 0 &&
+             iteration >= cfg_.maxIterations)) {
+            report.hitSafetyStop = true;
+            break;
+        }
+    }
+
+    report.iterations = iteration;
+    report.makespanCycles = now;
+    report.generatedTokens = pool_.totalGeneratedTokens();
+    report.requestsCompleted =
+        static_cast<int>(pool_.completedCount());
+    report.meanBatchSize =
+        iteration > 0 ? static_cast<double>(batchSum) /
+                            static_cast<double>(iteration)
+                      : 0.0;
+
+    // Latency distributions over the completed requests, in request
+    // id (= submission) order so the report is deterministic.
+    for (RequestId id = 0;
+         id < static_cast<RequestId>(report.requestsSubmitted); ++id) {
+        const Request &req = pool_.request(id);
+        if (req.status != RequestStatus::Done ||
+            req.finishCycle == kCycleMax)
+            continue;
+        report.ttftUs.record(cyclesToMicros(req.ttft()));
+        report.e2eUs.record(cyclesToMicros(req.endToEnd()));
+        report.perTokenMs.record(
+            cyclesToMicros(req.endToEnd()) * 1e-3 /
+            static_cast<double>(req.outputLength));
+        if (req.outputLength > 1)
+            report.tbtUs.record(req.timeBetweenTokens() * 1e-3);
+    }
+    return report;
+}
+
+} // namespace neupims::runtime

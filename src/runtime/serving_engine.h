@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Closed-loop serving engine: drives the Orca-style BatchScheduler
+ * through simulated wall-clock time with request arrivals from a
+ * pluggable TrafficModel, and tracks per-request TTFT,
+ * time-between-tokens and end-to-end latency.
+ *
+ * Arrival generation is open-loop (requests arrive on the traffic
+ * model's schedule regardless of system load); the *loop that is
+ * closed* is between the scheduler and the execution engine — each
+ * iteration's simulated latency advances the clock over which new
+ * arrivals accrue, so queueing delay, batch growth and latency
+ * feedback emerge exactly as they would on hardware. See DESIGN.md §6
+ * for the simulated-time model.
+ *
+ * The engine is backend-agnostic: iteration latency comes from an
+ * IterationLatencyModel, implemented in src/core/iteration_model.h
+ * both analytically (fast, closed-form over the compiled layer work)
+ * and by the cycle-accurate DeviceExecutor (memoized). Everything is
+ * deterministic under fixed seeds.
+ */
+
+#ifndef NEUPIMS_RUNTIME_SERVING_ENGINE_H_
+#define NEUPIMS_RUNTIME_SERVING_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/batch_scheduler.h"
+#include "runtime/latency_stats.h"
+#include "runtime/traffic.h"
+
+namespace neupims::runtime {
+
+/**
+ * Maps one iteration's schedule to its simulated latency in cycles.
+ * Implementations live in src/core (they need the device model); the
+ * runtime layer only sees this interface.
+ */
+class IterationLatencyModel
+{
+  public:
+    virtual ~IterationLatencyModel() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Simulated cycles one iteration of @p schedule takes. */
+    virtual Cycle iterationCycles(const IterationSchedule &schedule) = 0;
+};
+
+struct ServingConfig
+{
+    SchedulerConfig scheduler;
+    KvCacheConfig kv;
+
+    /** Safety horizon: stop even if requests remain (kCycleMax =
+     * unbounded). */
+    Cycle maxCycles = kCycleMax;
+    /** Safety iteration cap (0 = unbounded). */
+    int maxIterations = 0;
+    /** Keep the per-iteration trace rows (golden tests, debugging). */
+    bool recordTrace = true;
+};
+
+/** One row of the per-iteration serving trace. */
+struct IterationTraceRow
+{
+    int iteration = 0;
+    Cycle startCycle = 0;      ///< clock when the iteration began
+    Cycle iterationCycles = 0; ///< latency the model returned
+    int batch = 0;
+    int admitted = 0;
+    int retired = 0;
+    int waiting = 0; ///< waiting count after admission
+    double maxChannelLoad = 0.0; ///< Algorithm-1 estimate (cycles)
+    double kvUtilization = 0.0;
+};
+
+/** Everything a serving run produced. */
+struct ServingReport
+{
+    std::string backend;
+    std::string traffic;
+    std::string dataset;
+
+    int requestsSubmitted = 0;
+    int requestsCompleted = 0;
+    int requestsDropped = 0;
+    Cycle makespanCycles = 0; ///< clock when the last request finished
+    std::uint64_t generatedTokens = 0;
+    int iterations = 0;
+    double meanBatchSize = 0.0;
+    bool hitSafetyStop = false; ///< maxCycles/maxIterations tripped
+
+    /** Latency distributions in microseconds. */
+    LatencyStats ttftUs;
+    LatencyStats tbtUs; ///< mean time between tokens, per request
+    LatencyStats e2eUs;
+    /** End-to-end latency normalized per output token (ms/token) —
+     * the request-size-independent SLO metric. */
+    LatencyStats perTokenMs;
+
+    /** Generation throughput over the makespan. */
+    double tokensPerSecond() const;
+};
+
+class ServingEngine
+{
+  public:
+    ServingEngine(const ServingConfig &cfg, TrafficModel &traffic,
+                  IterationLatencyModel &latency);
+
+    /**
+     * Drain the traffic model into the pool and serve to completion
+     * (or to the safety horizon). Call once per engine instance.
+     */
+    ServingReport run();
+
+    /** Per-iteration rows (filled when cfg.recordTrace). */
+    const std::vector<IterationTraceRow> &trace() const { return trace_; }
+
+    const RequestPool &pool() const { return pool_; }
+    const PagedKvCache &kv() const { return kv_; }
+
+  private:
+    ServingConfig cfg_;
+    TrafficModel &traffic_;
+    IterationLatencyModel &latency_;
+
+    RequestPool pool_;
+    PagedKvCache kv_;
+    BatchScheduler scheduler_;
+    std::vector<IterationTraceRow> trace_;
+    bool ran_ = false;
+};
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_SERVING_ENGINE_H_

@@ -1,0 +1,254 @@
+#include "runtime/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace neupims::runtime {
+
+namespace {
+
+constexpr double kCyclesPerSecond = 1e9; // 1 cycle == 1 ns
+
+double
+ratePeriodCycles(double requests_per_second)
+{
+    NEUPIMS_ASSERT(requests_per_second > 0.0,
+                   "arrival rate must be positive");
+    return kCyclesPerSecond / requests_per_second;
+}
+
+} // namespace
+
+std::vector<ArrivalEvent>
+TrafficModel::drain()
+{
+    std::vector<ArrivalEvent> out;
+    while (auto ev = next())
+        out.push_back(*ev);
+    return out;
+}
+
+// --- Poisson ---------------------------------------------------------------
+
+PoissonTraffic::PoissonTraffic(const DatasetConfig &dataset,
+                               double requests_per_second,
+                               int num_requests, std::uint64_t seed)
+    : name_("poisson"), gen_(dataset, seed), rng_(seed ^ 0xa02ff11ULL),
+      cyclesPerArrival_(ratePeriodCycles(requests_per_second)),
+      remaining_(num_requests)
+{}
+
+std::optional<ArrivalEvent>
+PoissonTraffic::next()
+{
+    if (remaining_ <= 0)
+        return std::nullopt;
+    --remaining_;
+    // Exponential gap with mean cyclesPerArrival_.
+    double u = rng_.uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    now_ += -std::log(u) * cyclesPerArrival_;
+    auto s = gen_.sample();
+    return ArrivalEvent{static_cast<Cycle>(now_), s.inputLength,
+                        s.outputLength};
+}
+
+// --- Bursty (Gamma) --------------------------------------------------------
+
+BurstyTraffic::BurstyTraffic(const DatasetConfig &dataset,
+                             double requests_per_second, double shape,
+                             int num_requests, std::uint64_t seed)
+    : name_("bursty"), gen_(dataset, seed), rng_(seed ^ 0xb5157e1ULL),
+      cyclesPerArrival_(ratePeriodCycles(requests_per_second)),
+      shape_(shape), remaining_(num_requests)
+{
+    NEUPIMS_ASSERT(shape_ > 0.0, "gamma shape must be positive");
+}
+
+/**
+ * Marsaglia-Tsang squeeze for Gamma(shape >= 1, scale 1); the
+ * shape < 1 boost Gamma(k) = Gamma(k+1) * U^(1/k). Deterministic:
+ * only Rng draws, no std:: distributions.
+ */
+double
+BurstyTraffic::sampleGamma()
+{
+    double k = shape_;
+    double boost = 1.0;
+    if (k < 1.0) {
+        double u = rng_.uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        boost = std::pow(u, 1.0 / k);
+        k += 1.0;
+    }
+    const double d = k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x = rng_.normal();
+        double v = 1.0 + c * x;
+        if (v <= 0.0)
+            continue;
+        v = v * v * v;
+        double u = rng_.uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v))
+            return boost * d * v;
+    }
+}
+
+std::optional<ArrivalEvent>
+BurstyTraffic::next()
+{
+    if (remaining_ <= 0)
+        return std::nullopt;
+    --remaining_;
+    // Gamma(shape, scale = mean/shape) keeps the long-run rate fixed
+    // while shape < 1 piles probability mass near zero (bursts).
+    now_ += sampleGamma() * (cyclesPerArrival_ / shape_);
+    auto s = gen_.sample();
+    return ArrivalEvent{static_cast<Cycle>(now_), s.inputLength,
+                        s.outputLength};
+}
+
+// --- Replay ----------------------------------------------------------------
+
+ReplayTraffic::ReplayTraffic(std::string name,
+                             std::vector<ArrivalEvent> events)
+    : name_(std::move(name)), events_(std::move(events))
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const ArrivalEvent &a, const ArrivalEvent &b) {
+                         return a.time < b.time;
+                     });
+}
+
+std::unique_ptr<ReplayTraffic>
+ReplayTraffic::fixedRate(const DatasetConfig &dataset,
+                         double requests_per_second, int num_requests,
+                         std::uint64_t seed)
+{
+    WorkloadGenerator gen(dataset, seed);
+    double period = ratePeriodCycles(requests_per_second);
+    std::vector<ArrivalEvent> events;
+    events.reserve(static_cast<std::size_t>(std::max(0, num_requests)));
+    for (int i = 0; i < num_requests; ++i) {
+        auto s = gen.sample();
+        events.push_back(ArrivalEvent{
+            static_cast<Cycle>(period * static_cast<double>(i)),
+            s.inputLength, s.outputLength});
+    }
+    return std::make_unique<ReplayTraffic>("replay", std::move(events));
+}
+
+std::unique_ptr<ReplayTraffic>
+ReplayTraffic::fromCsv(std::istream &in, std::string name)
+{
+    std::vector<ArrivalEvent> events;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Trim trailing CR (Windows traces) and surrounding blanks.
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        std::size_t start = line.find_first_not_of(' ');
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        if (line.compare(start, 10, "arrival_us") == 0)
+            continue; // header row
+        std::istringstream row(line.substr(start));
+        double arrival_us = 0.0;
+        int input = 0, output = 0;
+        char c1 = 0, c2 = 0;
+        row >> arrival_us >> c1 >> input >> c2 >> output;
+        if (row.fail() || c1 != ',' || c2 != ',' || arrival_us < 0.0 ||
+            input < 1 || output < 1) {
+            fatal("malformed trace row ", lineno, ": '", line, "'");
+        }
+        // llround, not a truncating cast: 1.001 us is 1000.999...
+        // after the multiply and must parse as cycle 1001 for the
+        // writeCsv round trip to be lossless.
+        events.push_back(ArrivalEvent{
+            static_cast<Cycle>(std::llround(arrival_us * 1e3)), input,
+            output});
+    }
+    return std::make_unique<ReplayTraffic>(std::move(name),
+                                           std::move(events));
+}
+
+std::unique_ptr<ReplayTraffic>
+ReplayTraffic::fromCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file ", path);
+    return fromCsv(in, path);
+}
+
+void
+ReplayTraffic::writeCsv(std::ostream &out) const
+{
+    out << "arrival_us,input_tokens,output_tokens\n";
+    char row[96];
+    for (const auto &ev : events_) {
+        // Three decimals of a microsecond = exactly one cycle (ns),
+        // so a writeCsv -> fromCsv round trip is lossless.
+        std::snprintf(row, sizeof(row), "%.3f,%d,%d\n",
+                      static_cast<double>(ev.time) * 1e-3,
+                      ev.inputLength, ev.outputLength);
+        out << row;
+    }
+}
+
+std::optional<ArrivalEvent>
+ReplayTraffic::next()
+{
+    if (cursor_ >= events_.size())
+        return std::nullopt;
+    return events_[cursor_++];
+}
+
+// --- Factory ---------------------------------------------------------------
+
+std::unique_ptr<TrafficModel>
+makeTraffic(const std::string &kind, const DatasetConfig &dataset,
+            double requests_per_second, int num_requests,
+            std::uint64_t seed)
+{
+    if (kind == "poisson") {
+        return std::make_unique<PoissonTraffic>(
+            dataset, requests_per_second, num_requests, seed);
+    }
+    if (kind == "bursty") {
+        // Shape 0.25: four-fold burstier than Poisson (CV = 2).
+        return std::make_unique<BurstyTraffic>(
+            dataset, requests_per_second, 0.25, num_requests, seed);
+    }
+    if (kind == "replay") {
+        return ReplayTraffic::fixedRate(dataset, requests_per_second,
+                                        num_requests, seed);
+    }
+    fatal("unknown traffic model '", kind,
+          "' (expected poisson|bursty|replay)");
+}
+
+const std::vector<std::string> &
+standardTrafficKinds()
+{
+    static const std::vector<std::string> kinds = {"poisson", "bursty",
+                                                   "replay"};
+    return kinds;
+}
+
+} // namespace neupims::runtime

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Pluggable request-arrival traffic models for the serving engine.
+ *
+ * The paper evaluates warmed static batches (§8.1); serving a live
+ * system means simulating request *arrival* over time. A TrafficModel
+ * yields a finite, time-ordered stream of arrivals whose
+ * input/output lengths come from the §8.1 dataset distributions:
+ *
+ *  - PoissonTraffic: open-loop Poisson process (exponential
+ *    inter-arrival gaps) at a fixed mean rate — the standard serving
+ *    benchmark model.
+ *  - BurstyTraffic: Gamma-distributed gaps with shape < 1, so the
+ *    same mean rate arrives in bursts separated by lulls (heavier
+ *    tail than Poisson); shape 1 degenerates to Poisson.
+ *  - ReplayTraffic: replays an explicit arrival list — either a
+ *    fixed-rate synthetic trace or a CSV trace
+ *    (`arrival_us,input_tokens,output_tokens` rows).
+ *
+ * All models are deterministic under a fixed seed (common/rng.h):
+ * identical builds replay identical traces. The gap sampling uses
+ * libm transcendentals (log/pow), so bit-stability across *different*
+ * libm implementations is not guaranteed — the golden-trace tests pin
+ * the glibc/x86-64 results and document regeneration.
+ */
+
+#ifndef NEUPIMS_RUNTIME_TRAFFIC_H_
+#define NEUPIMS_RUNTIME_TRAFFIC_H_
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/workload.h"
+
+namespace neupims::runtime {
+
+/** One request arrival: when it enters the pool and its lengths. */
+struct ArrivalEvent
+{
+    Cycle time = 0; ///< arrival cycle (1 cycle == 1 ns)
+    int inputLength = 1;
+    int outputLength = 1;
+};
+
+class TrafficModel
+{
+  public:
+    virtual ~TrafficModel() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Next arrival, or nullopt when the trace is exhausted. Times are
+     * non-decreasing across calls.
+     */
+    virtual std::optional<ArrivalEvent> next() = 0;
+
+    /** Drain the remaining arrivals into a vector. */
+    std::vector<ArrivalEvent> drain();
+};
+
+/** Open-loop Poisson arrivals at @p requests_per_second. */
+class PoissonTraffic : public TrafficModel
+{
+  public:
+    PoissonTraffic(const DatasetConfig &dataset, double requests_per_second,
+                   int num_requests, std::uint64_t seed);
+
+    const std::string &name() const override { return name_; }
+    std::optional<ArrivalEvent> next() override;
+
+  private:
+    std::string name_;
+    WorkloadGenerator gen_;
+    Rng rng_;
+    double cyclesPerArrival_;
+    int remaining_;
+    double now_ = 0.0; ///< running arrival time in cycles
+};
+
+/**
+ * Bursty arrivals: Gamma(shape, mean = 1/rate) inter-arrival gaps.
+ * shape < 1 clusters arrivals into bursts at the same long-run rate.
+ */
+class BurstyTraffic : public TrafficModel
+{
+  public:
+    BurstyTraffic(const DatasetConfig &dataset, double requests_per_second,
+                  double shape, int num_requests, std::uint64_t seed);
+
+    const std::string &name() const override { return name_; }
+    std::optional<ArrivalEvent> next() override;
+
+  private:
+    double sampleGamma();
+
+    std::string name_;
+    WorkloadGenerator gen_;
+    Rng rng_;
+    double cyclesPerArrival_;
+    double shape_;
+    int remaining_;
+    double now_ = 0.0;
+};
+
+/** Replays an explicit arrival list (synthetic or CSV trace). */
+class ReplayTraffic : public TrafficModel
+{
+  public:
+    /** Replay @p events; they are sorted by time on construction. */
+    ReplayTraffic(std::string name, std::vector<ArrivalEvent> events);
+
+    /**
+     * Fixed-rate trace: @p num_requests arrivals evenly spaced at
+     * @p requests_per_second, lengths sampled from @p dataset.
+     */
+    static std::unique_ptr<ReplayTraffic>
+    fixedRate(const DatasetConfig &dataset, double requests_per_second,
+              int num_requests, std::uint64_t seed);
+
+    /**
+     * Parse a CSV trace: one `arrival_us,input_tokens,output_tokens`
+     * row per request; blank lines and `#` comments are skipped, as
+     * is a leading `arrival_us,...` header. fatal() on malformed rows.
+     */
+    static std::unique_ptr<ReplayTraffic> fromCsv(std::istream &in,
+                                                  std::string name);
+    static std::unique_ptr<ReplayTraffic>
+    fromCsvFile(const std::string &path);
+
+    /** Write the trace back out in the CSV format fromCsv() parses. */
+    void writeCsv(std::ostream &out) const;
+
+    const std::string &name() const override { return name_; }
+    std::optional<ArrivalEvent> next() override;
+
+    const std::vector<ArrivalEvent> &events() const { return events_; }
+
+  private:
+    std::string name_;
+    std::vector<ArrivalEvent> events_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Build one of the three standard traffic models by name ("poisson",
+ * "bursty", "replay"); fatal() on unknown names. The replay model is
+ * the synthetic fixed-rate trace; CSV replay uses
+ * ReplayTraffic::fromCsvFile directly.
+ */
+std::unique_ptr<TrafficModel>
+makeTraffic(const std::string &kind, const DatasetConfig &dataset,
+            double requests_per_second, int num_requests,
+            std::uint64_t seed);
+
+/** The three standard traffic-model names, sweep order. */
+const std::vector<std::string> &standardTrafficKinds();
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_TRAFFIC_H_

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for golden-file regression tests: compare a
+ * serialized trace against tests/golden/<name>, or regenerate the
+ * file when NEUPIMS_UPDATE_GOLDEN=1 is set (run the test once with
+ * the variable exported, inspect the diff, commit).
+ *
+ * NEUPIMS_GOLDEN_DIR is injected by CMake as the absolute source-tree
+ * path, so golden diffs work from any build directory.
+ */
+
+#ifndef NEUPIMS_TESTS_COMMON_GOLDEN_UTIL_H_
+#define NEUPIMS_TESTS_COMMON_GOLDEN_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace neupims::testing {
+
+inline std::string
+goldenPath(const std::string &name)
+{
+#ifdef NEUPIMS_GOLDEN_DIR
+    return std::string(NEUPIMS_GOLDEN_DIR) + "/" + name;
+#else
+    return "tests/golden/" + name;
+#endif
+}
+
+inline bool
+updateGoldenRequested()
+{
+    const char *v = std::getenv("NEUPIMS_UPDATE_GOLDEN");
+    return v && v[0] == '1';
+}
+
+/**
+ * Byte-for-byte comparison of @p actual against the golden file, with
+ * a line-level first-mismatch report. With NEUPIMS_UPDATE_GOLDEN=1
+ * the golden file is (re)written instead and the test passes.
+ */
+inline void
+compareOrUpdateGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGoldenRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+        out << actual;
+        GTEST_LOG_(INFO) << "updated golden " << path;
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with NEUPIMS_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+
+    if (expected == actual)
+        return;
+
+    // Locate the first differing line for a readable failure.
+    std::istringstream es(expected), as(actual);
+    std::string eline, aline;
+    int lineno = 0;
+    while (true) {
+        ++lineno;
+        bool eok = static_cast<bool>(std::getline(es, eline));
+        bool aok = static_cast<bool>(std::getline(as, aline));
+        if (!eok && !aok)
+            break;
+        if (!eok || !aok || eline != aline) {
+            FAIL() << "golden mismatch in " << name << " at line "
+                   << lineno << "\n  expected: "
+                   << (eok ? eline : "<eof>")
+                   << "\n  actual:   " << (aok ? aline : "<eof>")
+                   << "\nregenerate with NEUPIMS_UPDATE_GOLDEN=1 "
+                      "after verifying the change is intended";
+        }
+    }
+    FAIL() << "golden mismatch in " << name
+           << " (content differs but lines match — check trailing "
+              "bytes)";
+}
+
+} // namespace neupims::testing
+
+#endif // NEUPIMS_TESTS_COMMON_GOLDEN_UTIL_H_

@@ -216,5 +216,67 @@ TEST(EventQueue, MatchesHeapReferenceOnRandomWorkload)
     }
 }
 
+/**
+ * Large-scale differential test: 10k randomized events with
+ * deliberately tie-heavy timestamps — most schedules collide on a
+ * small set of cycles, which is exactly where bucket draining,
+ * mid-drain appends and (cycle, sequence) tie-breaking can diverge
+ * from the reference heap. Mixes direct schedules, callback-driven
+ * reschedules (both same-cycle and far jumps across the wheel
+ * windows) and run(limit) parking, and requires bit-identical
+ * execution traces.
+ */
+TEST(EventQueue, MatchesHeapReferenceOnTieHeavyWorkload)
+{
+    for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+        auto drive = [seed](auto &eq) {
+            std::vector<std::pair<Cycle, int>> trace;
+            Rng rng(seed);
+            int id = 0;
+            // Tie-heavy: all direct schedules land on one of a few
+            // hot cycles within each coarse epoch.
+            auto hot_cycle = [&rng](Cycle epoch) {
+                return epoch * 5'000 + rng.uniformInt(0, 7) * 16;
+            };
+            std::function<void(int)> chain = [&](int depth) {
+                trace.emplace_back(eq.now(), id++);
+                if (depth > 0) {
+                    // Half the reschedules collide on the current
+                    // cycle; the rest hop ahead, some past the
+                    // level-0 window.
+                    Cycle d = rng.uniform() < 0.5
+                                  ? 0
+                                  : rng.uniformInt(1, 3) * 4'096;
+                    eq.scheduleIn(d, [&chain, depth] {
+                        chain(depth - 1);
+                    });
+                }
+            };
+            for (int i = 0; i < 10'000; ++i) {
+                Cycle when = hot_cycle(rng.uniformInt(0, 40));
+                int depth = static_cast<int>(rng.uniformInt(0, 2));
+                eq.schedule(when, [&chain, depth] { chain(depth); });
+            }
+            // Drain in limited slices to exercise run(limit) parking
+            // and the schedule-into-the-gap path between slices.
+            Cycle limit = 0;
+            while (!eq.empty()) {
+                limit += 17'000;
+                eq.run(limit);
+                if (!eq.empty()) {
+                    eq.schedule(eq.now(), [&chain] { chain(0); });
+                }
+            }
+            return trace;
+        };
+        EventQueue bucketed;
+        HeapEventQueue heap;
+        auto tb = drive(bucketed);
+        auto th = drive(heap);
+        ASSERT_GT(tb.size(), 10'000u);
+        EXPECT_EQ(tb, th) << "seed " << seed;
+    }
+}
+
 } // namespace
 } // namespace neupims

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Golden-trace regression tests of the serving stack: canonical
+ * serving runs are serialized iteration by iteration (batch size,
+ * admissions, retirements, Algorithm-1 channel loads, iteration
+ * cycles, KV utilization) and diffed byte-for-byte against the files
+ * under tests/golden, so any behavioral change to the scheduler, the
+ * request pool, the traffic models, the compiler or the analytic
+ * iteration model is caught — intended changes regenerate with
+ * NEUPIMS_UPDATE_GOLDEN=1.
+ *
+ * Portability note: the traces embed doubles produced through libm
+ * transcendentals (lognormal workload sampling, Poisson/Gamma gaps),
+ * which can differ by an ulp across libm implementations. The
+ * checked-in goldens are pinned on glibc/x86-64 (what CI runs); on
+ * another platform, regenerate locally before relying on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/golden_util.h"
+#include "core/serving_setup.h"
+#include "runtime/serving_engine.h"
+#include "runtime/traffic.h"
+
+namespace neupims {
+namespace {
+
+struct GoldenServingCase
+{
+    const char *file;
+    const char *backend;
+    const char *traffic;
+    const char *dataset;
+    double rate;
+    int requests;
+};
+
+std::string
+serializeServingRun(const GoldenServingCase &c)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = std::string(c.dataset) == "Alpaca"
+                  ? runtime::alpacaDataset()
+                  : runtime::shareGptDataset();
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    // Bound the trace length: the goldens pin the first 400
+    // iterations plus the summary counters at that point.
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "# golden serving trace: %s %s %s rate=%g "
+                  "requests=%d seed=7\n"
+                  "# iter,start,cycles,batch,admitted,retired,"
+                  "waiting,maxload,kvutil\n",
+                  c.backend, c.traffic, c.dataset, c.rate, c.requests);
+    out += line;
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line), "%d,%llu,%llu,%d,%d,%d,%d,%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.admitted, row.retired, row.waiting,
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "# summary completed=%d dropped=%d iterations=%d "
+                  "makespan=%llu tokens=%llu\n",
+                  report.requestsCompleted, report.requestsDropped,
+                  report.iterations,
+                  static_cast<unsigned long long>(
+                      report.makespanCycles),
+                  static_cast<unsigned long long>(
+                      report.generatedTokens));
+    out += line;
+    return out;
+}
+
+class GoldenServingTrace
+    : public ::testing::TestWithParam<GoldenServingCase>
+{};
+
+TEST_P(GoldenServingTrace, MatchesGolden)
+{
+    const auto &c = GetParam();
+    testing::compareOrUpdateGolden(c.file, serializeServingRun(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CanonicalConfigs, GoldenServingTrace,
+    ::testing::Values(
+        GoldenServingCase{"serving_neupims_sbi_poisson_sharegpt.txt",
+                          "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0,
+                          64},
+        GoldenServingCase{"serving_neupims_bursty_sharegpt.txt",
+                          "NeuPIMs", "bursty", "ShareGPT", 120.0, 64},
+        GoldenServingCase{"serving_npupim_replay_alpaca.txt",
+                          "NPU+PIM", "replay", "Alpaca", 800.0, 64},
+        GoldenServingCase{"serving_npuonly_poisson_alpaca.txt",
+                          "NPU-only", "poisson", "Alpaca", 400.0, 48}),
+    [](const ::testing::TestParamInfo<GoldenServingCase> &info) {
+        std::string name = info.param.file;
+        name = name.substr(0, name.size() - 4); // drop .txt
+        for (char &ch : name) {
+            if (ch == '.' || ch == '+' || ch == '-')
+                ch = '_';
+        }
+        return name;
+    });
+
+/**
+ * Same engine, same seed, run twice: the serving stack must be fully
+ * deterministic (no hidden global state between engine instances).
+ */
+TEST(GoldenServingTrace, RunToRunDeterminism)
+{
+    GoldenServingCase c{"", "NeuPIMs+SBI", "poisson", "ShareGPT",
+                        180.0, 48};
+    EXPECT_EQ(serializeServingRun(c), serializeServingRun(c));
+}
+
+} // namespace
+} // namespace neupims

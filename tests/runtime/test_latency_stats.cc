@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the latency-percentile and SLO-attainment package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/latency_stats.h"
+
+namespace neupims::runtime {
+namespace {
+
+TEST(LatencyStats, EmptyStatsAreZeroAndVacuouslyAttained)
+{
+    LatencyStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.maxValue(), 0.0);
+    EXPECT_EQ(s.percentile(50.0), 0.0);
+    EXPECT_EQ(s.attainment(1.0), 1.0);
+}
+
+TEST(LatencyStats, SingleSampleIsEveryPercentile)
+{
+    LatencyStats s;
+    s.record(42.0);
+    EXPECT_EQ(s.percentile(0.0), 42.0);
+    EXPECT_EQ(s.p50(), 42.0);
+    EXPECT_EQ(s.p99(), 42.0);
+    EXPECT_EQ(s.mean(), 42.0);
+}
+
+TEST(LatencyStats, PercentilesInterpolateOrderStatistics)
+{
+    LatencyStats s;
+    // 1..100 in scrambled insertion order.
+    for (int i = 0; i < 100; ++i)
+        s.record(static_cast<double>((i * 37) % 100 + 1));
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+    // rank = 0.5 * 99 = 49.5 -> midpoint of 50 and 51.
+    EXPECT_DOUBLE_EQ(s.p50(), 50.5);
+    // rank = 0.95 * 99 = 94.05 -> 95 + 0.05.
+    EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+    EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 100.0);
+}
+
+TEST(LatencyStats, RecordingAfterReadingStaysConsistent)
+{
+    LatencyStats s;
+    s.record(10.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 10.0); // forces the sorted cache
+    s.record(20.0);
+    s.record(30.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 20.0); // cache must be rebuilt
+}
+
+TEST(LatencyStats, AttainmentCountsSamplesWithinBudget)
+{
+    LatencyStats s;
+    for (int v : {10, 20, 30, 40, 50})
+        s.record(v);
+    EXPECT_DOUBLE_EQ(s.attainment(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.attainment(10.0), 0.2); // inclusive
+    EXPECT_DOUBLE_EQ(s.attainment(34.0), 0.6);
+    EXPECT_DOUBLE_EQ(s.attainment(50.0), 1.0);
+
+    auto curve = s.attainmentCurve({5.0, 25.0, 100.0});
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_DOUBLE_EQ(curve[0].threshold, 5.0);
+    EXPECT_DOUBLE_EQ(curve[0].attainment, 0.0);
+    EXPECT_DOUBLE_EQ(curve[1].attainment, 0.4);
+    EXPECT_DOUBLE_EQ(curve[2].attainment, 1.0);
+}
+
+} // namespace
+} // namespace neupims::runtime

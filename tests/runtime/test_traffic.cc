@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the arrival traffic models: determinism under fixed
+ * seeds, time monotonicity, rate accuracy, burstiness of the Gamma
+ * model, and CSV trace replay round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "runtime/traffic.h"
+
+namespace neupims::runtime {
+namespace {
+
+std::vector<ArrivalEvent>
+drainOf(TrafficModel &model)
+{
+    return model.drain();
+}
+
+void
+expectMonotone(const std::vector<ArrivalEvent> &events)
+{
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].time, events[i - 1].time);
+}
+
+double
+meanGapCycles(const std::vector<ArrivalEvent> &events)
+{
+    EXPECT_GE(events.size(), 2u);
+    return static_cast<double>(events.back().time -
+                               events.front().time) /
+           static_cast<double>(events.size() - 1);
+}
+
+TEST(Traffic, PoissonIsDeterministicMonotoneAndExhausts)
+{
+    PoissonTraffic a(shareGptDataset(), 50.0, 200, 11);
+    PoissonTraffic b(shareGptDataset(), 50.0, 200, 11);
+    auto ea = drainOf(a), eb = drainOf(b);
+    ASSERT_EQ(ea.size(), 200u);
+    expectMonotone(ea);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].time, eb[i].time);
+        EXPECT_EQ(ea[i].inputLength, eb[i].inputLength);
+        EXPECT_EQ(ea[i].outputLength, eb[i].outputLength);
+    }
+    EXPECT_FALSE(a.next().has_value()); // exhausted stays exhausted
+}
+
+TEST(Traffic, PoissonMatchesTheConfiguredRate)
+{
+    PoissonTraffic t(alpacaDataset(), 100.0, 4000, 3);
+    auto events = drainOf(t);
+    // Mean gap should be 1e9/100 = 1e7 cycles within a few percent.
+    EXPECT_NEAR(meanGapCycles(events), 1e7, 1e7 * 0.08);
+}
+
+TEST(Traffic, DifferentSeedsProduceDifferentTraces)
+{
+    PoissonTraffic a(shareGptDataset(), 50.0, 50, 1);
+    PoissonTraffic b(shareGptDataset(), 50.0, 50, 2);
+    auto ea = drainOf(a), eb = drainOf(b);
+    int diff = 0;
+    for (std::size_t i = 0; i < ea.size(); ++i)
+        diff += ea[i].time != eb[i].time;
+    EXPECT_GT(diff, 40);
+}
+
+TEST(Traffic, BurstyKeepsTheRateButClustersArrivals)
+{
+    const double rate = 100.0;
+    BurstyTraffic bursty(alpacaDataset(), rate, 0.25, 4000, 5);
+    auto events = drainOf(bursty);
+    ASSERT_EQ(events.size(), 4000u);
+    expectMonotone(events);
+    // Long-run rate is preserved...
+    EXPECT_NEAR(meanGapCycles(events), 1e7, 1e7 * 0.10);
+    // ...but gaps are much more variable than Poisson: Gamma(0.25)
+    // has CV = 2, exponential has CV = 1.
+    double mean = meanGapCycles(events);
+    double var = 0.0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        double gap =
+            static_cast<double>(events[i].time - events[i - 1].time);
+        var += (gap - mean) * (gap - mean);
+    }
+    var /= static_cast<double>(events.size() - 2);
+    double cv = std::sqrt(var) / mean;
+    EXPECT_GT(cv, 1.5);
+}
+
+TEST(Traffic, FixedRateReplayIsEvenlySpaced)
+{
+    auto replay = ReplayTraffic::fixedRate(alpacaDataset(), 1000.0,
+                                           100, 9);
+    auto events = drainOf(*replay);
+    ASSERT_EQ(events.size(), 100u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].time, static_cast<Cycle>(i) * 1'000'000u);
+}
+
+TEST(Traffic, CsvParsesHeaderCommentsAndSortsRows)
+{
+    std::istringstream in(
+        "arrival_us,input_tokens,output_tokens\n"
+        "# a comment\n"
+        "\n"
+        "200.5,30,7\r\n"
+        "100,12,5\n"
+        "300,40,2\n");
+    auto replay = ReplayTraffic::fromCsv(in, "test");
+    auto events = drainOf(*replay);
+    ASSERT_EQ(events.size(), 3u);
+    // Rows are sorted by arrival time.
+    EXPECT_EQ(events[0].time, 100'000u);
+    EXPECT_EQ(events[0].inputLength, 12);
+    EXPECT_EQ(events[0].outputLength, 5);
+    EXPECT_EQ(events[1].time, 200'500u);
+    EXPECT_EQ(events[2].time, 300'000u);
+}
+
+TEST(Traffic, CsvRoundTripsThroughWriteCsv)
+{
+    // Poisson arrival times are fractional microseconds — the case
+    // where naive parse truncation (instead of rounding) loses
+    // cycles.
+    PoissonTraffic source(shareGptDataset(), 333.0, 40, 21);
+    auto original = std::make_unique<ReplayTraffic>("orig",
+                                                    source.drain());
+    std::ostringstream out;
+    original->writeCsv(out);
+    std::istringstream in(out.str());
+    auto parsed = ReplayTraffic::fromCsv(in, "roundtrip");
+    auto ea = original->events();
+    auto eb = parsed->events();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].time, eb[i].time);
+        EXPECT_EQ(ea[i].inputLength, eb[i].inputLength);
+        EXPECT_EQ(ea[i].outputLength, eb[i].outputLength);
+    }
+}
+
+TEST(Traffic, MalformedCsvRowIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            std::istringstream in("100,notanumber,5\n");
+            ReplayTraffic::fromCsv(in, "bad");
+        },
+        ::testing::ExitedWithCode(1), "malformed trace row");
+}
+
+TEST(Traffic, FactoryBuildsAllStandardKinds)
+{
+    for (const auto &kind : standardTrafficKinds()) {
+        auto model =
+            makeTraffic(kind, shareGptDataset(), 50.0, 10, 42);
+        ASSERT_NE(model, nullptr);
+        EXPECT_EQ(model->name(), kind);
+        EXPECT_EQ(model->drain().size(), 10u);
+    }
+    EXPECT_EXIT(makeTraffic("warp", shareGptDataset(), 50.0, 10, 42),
+                ::testing::ExitedWithCode(1), "unknown traffic model");
+}
+
+} // namespace
+} // namespace neupims::runtime
