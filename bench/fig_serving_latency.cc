@@ -14,6 +14,15 @@
  * and 2.8x drives every backend into queueing — the regime where the
  * four designs' batch growth, KV pressure and SLO tails separate.
  *
+ * A second sweep compares prefill scheduling policies on the
+ * strongest backend (NeuPIMs+SBI, poisson ShareGPT): whole-prompt
+ * stall-the-world prefill against chunked prefill piggybacked onto
+ * decode iterations at several chunk budgets, across the same offered
+ * loads — emitting the TTFT decomposition (queueing + prefill +
+ * first-decode percentiles) and decode TBT under "prefill_sweep" so
+ * the chunking/piggybacking trade-off (lower tail TTFT vs bounded TBT
+ * inflation) is visible in BENCH_serving.json.
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
@@ -186,6 +195,81 @@ main()
             }
         }
     }
+    std::fprintf(json, "\n  ],\n  \"prefill_sweep\": [\n");
+
+    // --- Prefill-policy sweep: whole-prompt vs chunked+piggyback ---
+    struct PrefillMode
+    {
+        const char *name;
+        runtime::PrefillPolicy policy;
+        int chunkTokens;
+        bool piggyback;
+    };
+    const std::vector<PrefillMode> modes = {
+        {"whole", runtime::PrefillPolicy::WholePrompt, 0, false},
+        {"chunked-128", runtime::PrefillPolicy::Chunked, 128, true},
+        {"chunked-256", runtime::PrefillPolicy::Chunked, 256, true},
+        {"chunked-512", runtime::PrefillPolicy::Chunked, 512, true},
+    };
+
+    std::printf("\n=== Prefill scheduling sweep (NeuPIMs+SBI, "
+                "poisson, ShareGPT) ===\n\n");
+    std::printf("%-12s %5s | %8s %8s %8s | %8s %8s %8s | %7s %7s\n",
+                "prefill", "load", "ttft-p50", "ttft-p95", "ttft-p99",
+                "queue-95", "prefil-95", "1dec-95", "tbt-p50",
+                "tbt-p95");
+
+    const auto &backend = core::servingBackendByName("NeuPIMs+SBI");
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto ds = bench::datasetByName("ShareGPT");
+    first = true;
+    for (const auto &mode : modes) {
+        for (double load : loads) {
+            double rate = nominalRate(ds) * load;
+            auto traffic = runtime::makeTraffic("poisson", ds, rate,
+                                                requests, seed);
+            auto cfg = core::servingConfigFor(backend.device, llm);
+            cfg.scheduler.prefill.policy = mode.policy;
+            if (mode.chunkTokens > 0)
+                cfg.scheduler.prefill.chunkTokens = mode.chunkTokens;
+            cfg.scheduler.prefill.piggyback = mode.piggyback;
+            runtime::ServingEngine engine(cfg, *traffic, *latency);
+            auto report = engine.run();
+
+            std::printf(
+                "%-12s %4.1fx | %8.1f %8.1f %8.1f | %8.1f %8.1f "
+                "%8.1f | %7.2f %7.2f\n",
+                mode.name, load, report.ttftUs.p50() / 1e3,
+                report.ttftUs.p95() / 1e3, report.ttftUs.p99() / 1e3,
+                report.queueUs.p95() / 1e3,
+                report.prefillUs.p95() / 1e3,
+                report.firstDecodeUs.p95() / 1e3,
+                report.tbtUs.p50() / 1e3, report.tbtUs.p95() / 1e3);
+
+            std::fprintf(
+                json,
+                "%s    {\n      \"prefill\": \"%s\", \"chunk\": %d, "
+                "\"piggyback\": %s, \"load\": %.2f,\n"
+                "      \"completed\": %d, \"tokens_per_s\": %.1f, "
+                "\"mean_batch\": %.2f,\n",
+                first ? "" : ",\n", mode.name, mode.chunkTokens,
+                mode.piggyback ? "true" : "false", load,
+                report.requestsCompleted, report.tokensPerSecond(),
+                report.meanBatchSize);
+            emitLatency(json, "ttft_ms", report.ttftUs, 1e-3, true);
+            emitLatency(json, "ttft_queue_ms", report.queueUs, 1e-3,
+                        true);
+            emitLatency(json, "ttft_prefill_ms", report.prefillUs,
+                        1e-3, true);
+            emitLatency(json, "ttft_first_decode_ms",
+                        report.firstDecodeUs, 1e-3, true);
+            emitLatency(json, "tbt_ms", report.tbtUs, 1e-3, true);
+            emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, false);
+            std::fprintf(json, "    }");
+            first = false;
+        }
+    }
+
     std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_serving.json\n");

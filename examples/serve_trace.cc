@@ -16,13 +16,18 @@
  *                 [--model NAME] [--backend NAME] [--traffic KIND]
  *                 [--dataset NAME] [--trace FILE.csv] [--measured]
  *                 [--calibrate] [--dump-trace]
+ *                 [--prefill legacy|whole|chunked] [--chunk N]
+ *                 [--no-piggyback]
  *
  * --trace replays an external CSV (arrival_us,input,output rows) in
  * place of the synthetic fixed-rate replay trace. --measured swaps
  * the analytic iteration model for the memoized cycle-accurate
  * executor (orders of magnitude slower; small request counts only).
  * --calibrate anchors the analytic model to one measured point per
- * backend first.
+ * backend first. --prefill selects the prompt-pass policy (default
+ * chunked with a --chunk token budget, piggybacked onto decode
+ * iterations unless --no-piggyback); the report's TTFT splits into
+ * queueing + prefill + first-decode accordingly.
  */
 
 #include <cstdio>
@@ -50,10 +55,26 @@ struct Options
     std::string traffic = "all";
     std::string dataset = "all";
     std::string traceCsv;
+    std::string prefill = "chunked";
+    int chunkTokens = 256;
+    bool piggyback = true;
     bool measured = false;
     bool calibrate = false;
     bool dumpTrace = false;
 };
+
+runtime::PrefillPolicy
+prefillPolicyByName(const std::string &name)
+{
+    if (name == "legacy")
+        return runtime::PrefillPolicy::Legacy;
+    if (name == "whole")
+        return runtime::PrefillPolicy::WholePrompt;
+    if (name == "chunked")
+        return runtime::PrefillPolicy::Chunked;
+    fatal("unknown prefill policy '", name,
+          "' (expected legacy|whole|chunked)");
+}
 
 /**
  * Per-dataset default arrival rate: ~2/3 of full NeuPIMs' sustainable
@@ -97,7 +118,9 @@ usage(const char *argv0)
         "          [--traffic poisson|bursty|replay|all] [--dataset "
         "ShareGPT|Alpaca|all]\n"
         "          [--trace FILE.csv] [--measured] [--calibrate] "
-        "[--dump-trace]\n",
+        "[--dump-trace]\n"
+        "          [--prefill legacy|whole|chunked] [--chunk N] "
+        "[--no-piggyback]\n",
         argv0);
 }
 
@@ -132,6 +155,12 @@ main(int argc, char **argv)
             opt.dataset = value();
         else if (arg == "--trace")
             opt.traceCsv = value();
+        else if (arg == "--prefill")
+            opt.prefill = value();
+        else if (arg == "--chunk")
+            opt.chunkTokens = std::atoi(value());
+        else if (arg == "--no-piggyback")
+            opt.piggyback = false;
         else if (arg == "--measured")
             opt.measured = true;
         else if (arg == "--calibrate")
@@ -167,16 +196,21 @@ main(int argc, char **argv)
         fatal("unknown dataset '", opt.dataset,
               "' (expected ShareGPT|Alpaca|all)");
 
+    runtime::PrefillPolicy policy = prefillPolicyByName(opt.prefill);
     std::printf("NeuPIMs closed-loop serving: %s, %d requests, "
-                "seed %llu, %s iteration model\n\n",
+                "seed %llu, %s iteration model, %s prefill"
+                " (chunk %d%s)\n\n",
                 llm.name.c_str(), opt.requests,
                 static_cast<unsigned long long>(opt.seed),
-                opt.measured ? "measured" : "analytic");
+                opt.measured ? "measured" : "analytic",
+                opt.prefill.c_str(), opt.chunkTokens,
+                opt.piggyback ? ", piggyback" : "");
     std::printf("%-12s %-8s %-9s %5s %9s %9s %6s | %8s %8s %8s | "
-                "%8s %8s | %6s  %s\n",
+                "%8s %8s %8s | %8s %8s | %6s  %s\n",
                 "backend", "traffic", "dataset", "done", "span(ms)",
                 "tok/s", "batch", "ttft-p50", "ttft-p95", "ttft-p99",
-                "e2e-p50", "e2e-p99", "tbt-ms", "checksum");
+                "queue-50", "prefil-50", "1dec-50", "e2e-p50",
+                "e2e-p99", "tbt-ms", "checksum");
 
     for (const auto &backend : backends) {
         auto latency = core::makeIterationModel(backend.device, llm,
@@ -202,6 +236,9 @@ main(int argc, char **argv)
                                                    opt.seed);
 
                 auto cfg = core::servingConfigFor(backend.device, llm);
+                cfg.scheduler.prefill.policy = policy;
+                cfg.scheduler.prefill.chunkTokens = opt.chunkTokens;
+                cfg.scheduler.prefill.piggyback = opt.piggyback;
                 runtime::ServingEngine engine(cfg, *traffic, *latency);
                 auto report = engine.run();
                 report.backend = backend.name;
@@ -209,7 +246,8 @@ main(int argc, char **argv)
 
                 std::printf(
                     "%-12s %-8s %-9s %5d %9.1f %9.0f %6.1f | %8.1f "
-                    "%8.1f %8.1f | %8.0f %8.0f | %6.2f  %016llx\n",
+                    "%8.1f %8.1f | %8.1f %8.1f %8.1f | %8.0f %8.0f | "
+                    "%6.2f  %016llx\n",
                     backend.name.c_str(), report.traffic.c_str(),
                     ds.name.c_str(), report.requestsCompleted,
                     cyclesToMicros(report.makespanCycles) / 1e3,
@@ -217,6 +255,9 @@ main(int argc, char **argv)
                     report.ttftUs.p50() / 1e3,
                     report.ttftUs.p95() / 1e3,
                     report.ttftUs.p99() / 1e3,
+                    report.queueUs.p50() / 1e3,
+                    report.prefillUs.p50() / 1e3,
+                    report.firstDecodeUs.p50() / 1e3,
                     report.e2eUs.p50() / 1e3,
                     report.e2eUs.p99() / 1e3,
                     report.tbtUs.mean() / 1e3,
@@ -226,14 +267,15 @@ main(int argc, char **argv)
                 if (opt.dumpTrace) {
                     for (const auto &row : engine.trace()) {
                         std::printf("    iter %4d @%12llu +%9llu "
-                                    "batch %3d admit %2d retire %2d "
-                                    "wait %3d kv %4.1f%%\n",
+                                    "batch %3d pf %2d/%4dt admit %2d "
+                                    "retire %2d wait %3d kv %4.1f%%\n",
                                     row.iteration,
                                     static_cast<unsigned long long>(
                                         row.startCycle),
                                     static_cast<unsigned long long>(
                                         row.iterationCycles),
-                                    row.batch, row.admitted,
+                                    row.batch, row.prefilling,
+                                    row.prefillTokens, row.admitted,
                                     row.retired, row.waiting,
                                     row.kvUtilization * 100.0);
                     }

@@ -45,6 +45,11 @@ main(int argc, char **argv)
     sched_cfg.maxBatch = 256;
     sched_cfg.minLoadPacking = dev.flags.minLoadPacking;
     sched_cfg.estimator = core::latencyParamsFor(dev, llm, tp);
+    // Phase-aware lifecycle: admitted prompts prefill in 256-token
+    // chunks piggybacked onto decode iterations before generating.
+    sched_cfg.prefill.policy = runtime::PrefillPolicy::Chunked;
+    sched_cfg.prefill.chunkTokens = 256;
+    sched_cfg.prefill.piggyback = true;
     runtime::BatchScheduler scheduler(sched_cfg, pool, kv);
 
     runtime::WorkloadGenerator gen(runtime::shareGptDataset(), 7);
@@ -52,9 +57,9 @@ main(int argc, char **argv)
     std::printf("NeuPIMs serving simulation: %s, ShareGPT arrivals, "
                 "%d iterations x %d arrivals\n\n",
                 llm.name.c_str(), iterations, arrivals);
-    std::printf("%6s %8s %8s %8s %8s %10s %12s %10s\n", "iter", "wait",
-                "batch", "admit", "retire", "KV util",
-                "est MHA (us)", "imbalance");
+    std::printf("%6s %8s %8s %8s %8s %8s %10s %12s %10s\n", "iter",
+                "wait", "decode", "prefill", "admit", "retire",
+                "KV util", "est MHA (us)", "imbalance");
 
     runtime::MhaLatencyEstimator est(sched_cfg.estimator);
     (void)est;
@@ -72,13 +77,14 @@ main(int argc, char **argv)
         }
         double mean_load =
             sum_load / static_cast<double>(schedule.channelLoads.size());
-        int retired = scheduler.completeIteration();
+        int prefill_tokens = schedule.prefillTokens();
+        int retired = scheduler.completeIteration(schedule);
         served_tokens += static_cast<std::uint64_t>(
             schedule.batchSize());
 
-        std::printf("%6d %8zu %8d %8d %8d %9.1f%% %12.1f %9.2fx\n", it,
-                    pool.waitingCount(), schedule.batchSize(),
-                    schedule.admitted, retired,
+        std::printf("%6d %8zu %8d %8d %8d %8d %9.1f%% %12.1f %9.2fx\n",
+                    it, pool.waitingCount(), schedule.batchSize(),
+                    prefill_tokens, schedule.admitted, retired,
                     kv.utilization() * 100.0,
                     cyclesToMicros(static_cast<Cycle>(max_load)),
                     mean_load > 0 ? max_load / mean_load : 1.0);

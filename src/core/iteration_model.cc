@@ -42,6 +42,16 @@ constexpr double kPimBaselineEngineFactor = 33.9;
  */
 constexpr double kStridedStreamEff = 0.93;
 
+/**
+ * Fraction of the decode PIM-MHA span the NPU can spend on
+ * piggybacked prefill work. During PIM MHA the systolic arrays and
+ * vector units idle (bar weight prefetch), so prefill attention and
+ * the prompt GEMM rows can hide there; the data bus still carries PIM
+ * result/append traffic and weight prefetch, so only half the span is
+ * credited — the same conservatism as the SBI partial-overlap rule.
+ */
+constexpr double kPrefillHideFraction = 0.5;
+
 /** Extract the channel grouping used as the memo/analysis key. */
 std::vector<std::vector<int>>
 compositionKey(const BatchComposition &comp)
@@ -67,6 +77,19 @@ compositionOf(const runtime::IterationSchedule &schedule)
     comp.sb1 = schedule.seqLensOfSubBatch1();
     comp.sb2 = schedule.seqLensOfSubBatch2();
     return comp;
+}
+
+MixedComposition
+mixedCompositionOf(const runtime::IterationSchedule &schedule)
+{
+    MixedComposition mix;
+    mix.decode = compositionOf(schedule);
+    mix.prefill.reserve(schedule.prefill.size());
+    for (const auto &slice : schedule.prefill) {
+        mix.prefill.push_back(model::PrefillSliceSpec{
+            slice.req->channel, slice.startToken, slice.tokens});
+    }
+    return mix;
 }
 
 // --- AnalyticIterationModel ------------------------------------------------
@@ -203,6 +226,112 @@ AnalyticIterationModel::serialLayerCycles(const model::LayerPlan &plan,
 }
 
 double
+AnalyticIterationModel::prefillAttnCycles(
+    const model::LayerPlan &plan) const
+{
+    if (plan.prefillAttn.empty())
+        return 0.0;
+    const std::int64_t d_dev = model_.dModelPerDevice(tp_);
+    double ch_bytes_per_cycle =
+        cfg_.org.bytesPerCycle() * kDenseStreamEff;
+    double total = 0.0;
+    std::uint64_t softmax_elems = 0;
+    for (const auto &p : plan.prefillAttn) {
+        // Batched causal attention on the systolic arrays; the K/V
+        // window streams from the slice's single channel, overlapped
+        // with compute (double-buffered panels) like a weight stream.
+        double compute = static_cast<double>(
+            saPool_.gemmCycles(p.logitShape(d_dev)) +
+            saPool_.gemmCycles(p.attendShape(d_dev)));
+        double stream =
+            static_cast<double>(p.kvReadBytes) / ch_bytes_per_cycle;
+        total += std::max(compute, stream);
+        softmax_elems += p.softmaxElems;
+    }
+    total += static_cast<double>(vuPool_.softmaxCycles(softmax_elems));
+    return total;
+}
+
+double
+AnalyticIterationModel::mixedLayerCycles(const MixedComposition &mix)
+{
+    NEUPIMS_ASSERT(mix.hasPrefill());
+
+    if (!mix.hasDecode()) {
+        // Dedicated prefill iteration: weight GEMMs over the prompt
+        // rows, NPU attention, K/V appends; no decode MHA (and no
+        // prefetch credit — there is no MHA span to prefetch under).
+        const model::LayerPlan &plan =
+            compiler_.compileLayer(mix.decode.full, mix.prefill);
+        return serialLayerCycles(plan, false) +
+               prefillAttnCycles(plan);
+    }
+
+    if (usesSubBatchInterleaving(cfg_, mix.decode)) {
+        // SBI decode base + prefill add-on. The decode sub-batches
+        // already stream every weight panel, so the prompt rows only
+        // pay systolic compute for their extra GEMM passes, plus
+        // their K/V appends, vector ops and NPU attention; on the
+        // pipelined path part of that hides under the PIM MHA span.
+        // Copies: the mixed compile below may evict the sub-plans.
+        model::LayerPlan sb1 = compiler_.compileLayer(mix.decode.sb1);
+        model::LayerPlan sb2 = compiler_.compileLayer(mix.decode.sb2);
+        double base = sbiLayerCycles(sb1, sb2);
+        double decode_mha = mhaCycles(sb1) + mhaCycles(sb2);
+
+        const model::LayerPlan &mixed =
+            compiler_.compileLayer(mix.decode.full, mix.prefill);
+        double extra = 0.0;
+        for (const auto &g : mixed.gemms) {
+            model::GemmWork pg = g;
+            pg.shape.m = mixed.prefillTokens;
+            extra +=
+                static_cast<double>(saPool_.gemmCycles(pg.shape));
+        }
+        // Prefill K/V appends beyond the decode ones (worst channel).
+        const Bytes kv_tok = model_.kvBytesPerTokenPerLayer(tp_);
+        Bytes worst_append = 0;
+        for (std::size_t ch = 0; ch < mixed.mha.kvAppendBytes.size();
+             ++ch) {
+            Bytes decode_bytes =
+                static_cast<Bytes>(mixed.mha.requests[ch].size()) *
+                kv_tok;
+            worst_append =
+                std::max(worst_append,
+                         mixed.mha.kvAppendBytes[ch] - decode_bytes);
+        }
+        extra += static_cast<double>(worst_append) /
+                 (cfg_.org.bytesPerCycle() * kDenseStreamEff);
+        extra += static_cast<double>(vuPool_.opCycles(
+            static_cast<std::uint64_t>(mixed.prefillTokens) *
+                static_cast<std::uint64_t>(model_.dModel) * 4,
+            cfg_.npu.vu.layerNormOpsPerElem));
+
+        double attn = prefillAttnCycles(mixed);
+        double hidden =
+            cfg_.flags.pipelinedMha
+                ? std::min(extra + attn,
+                           kPrefillHideFraction * decode_mha)
+                : 0.0;
+        return base + extra + attn - hidden;
+    }
+
+    // Serial decode: price the combined plan directly — the prompt
+    // rows amortize into the same weight GEMM phases and KV-append
+    // stream — then add the NPU attention with the piggyback hiding
+    // credit against the PIM decode-MHA span.
+    const model::LayerPlan &mixed =
+        compiler_.compileLayer(mix.decode.full, mix.prefill);
+    double base = serialLayerCycles(mixed, true);
+    double attn = prefillAttnCycles(mixed);
+    double hidden = cfg_.flags.pipelinedMha
+                        ? std::min(attn, kPrefillHideFraction *
+                                             mhaCycles(mixed))
+                        : 0.0;
+    return base + attn - hidden;
+}
+
+double
 AnalyticIterationModel::sbiLayerCycles(const model::LayerPlan &sb1,
                                        const model::LayerPlan &sb2) const
 {
@@ -243,6 +372,15 @@ AnalyticIterationModel::perLayerCyclesFor(const BatchComposition &comp)
 }
 
 Cycle
+AnalyticIterationModel::perLayerCyclesFor(const MixedComposition &mix)
+{
+    if (!mix.hasPrefill())
+        return perLayerCyclesFor(mix.decode);
+    double layer = mixedLayerCycles(mix) * scale_;
+    return static_cast<Cycle>(std::max(1.0, layer));
+}
+
+Cycle
 AnalyticIterationModel::iterationCyclesFor(const BatchComposition &comp)
 {
     return perLayerCyclesFor(comp) *
@@ -250,10 +388,17 @@ AnalyticIterationModel::iterationCyclesFor(const BatchComposition &comp)
 }
 
 Cycle
+AnalyticIterationModel::iterationCyclesFor(const MixedComposition &mix)
+{
+    return perLayerCyclesFor(mix) *
+           static_cast<Cycle>(layersPerDevice_);
+}
+
+Cycle
 AnalyticIterationModel::iterationCycles(
     const runtime::IterationSchedule &schedule)
 {
-    return iterationCyclesFor(compositionOf(schedule));
+    return iterationCyclesFor(mixedCompositionOf(schedule));
 }
 
 double
@@ -288,6 +433,7 @@ MeasuredIterationModel::MeasuredIterationModel(
     int layers_per_device, int quantize_seq)
     : name_("measured(" + cfg.name + ")"),
       executor_(cfg, model, tp, layers_per_device),
+      analytic_(cfg, model, tp, layers_per_device),
       quantizeSeq_(quantize_seq)
 {
     NEUPIMS_ASSERT(quantizeSeq_ >= 1);
@@ -329,14 +475,48 @@ MeasuredIterationModel::iterationCyclesFor(const BatchComposition &comp)
         executor_.config().flags.subBatchInterleaving ? 3 : 2;
     auto result = executor_.runIteration(q, window, 1);
     cache_.emplace(std::move(key), result.iterationCycles);
+    // Refresh the measured/analytic anchor (consumed by prefill-only
+    // iterations, which the event engine cannot run) on the miss
+    // branch only: the ratio is an approximation keyed to the latest
+    // measurement, and cache hits must stay lookup-cheap.
+    Cycle analytic = analytic_.iterationCyclesFor(q);
+    if (analytic > 0) {
+        measuredOverAnalytic_ =
+            static_cast<double>(result.iterationCycles) /
+            static_cast<double>(analytic);
+    }
     return result.iterationCycles;
+}
+
+Cycle
+MeasuredIterationModel::iterationCyclesFor(const MixedComposition &mix)
+{
+    if (!mix.hasPrefill())
+        return iterationCyclesFor(mix.decode);
+    Cycle analytic_mixed = analytic_.iterationCyclesFor(mix);
+    if (!mix.hasDecode()) {
+        // No decode work for the event engine to measure: rescale
+        // the analytic value onto the measured clock with the most
+        // recent decode anchor so prefill-only spans are not on a
+        // different time scale than the surrounding iterations.
+        double scaled = static_cast<double>(analytic_mixed) *
+                        measuredOverAnalytic_;
+        return static_cast<Cycle>(std::max(1.0, scaled));
+    }
+    Cycle measured = iterationCyclesFor(mix.decode);
+    Cycle analytic_decode = analytic_.iterationCyclesFor(mix.decode);
+    NEUPIMS_ASSERT(analytic_decode > 0);
+    double scaled = static_cast<double>(measured) *
+                    (static_cast<double>(analytic_mixed) /
+                     static_cast<double>(analytic_decode));
+    return static_cast<Cycle>(std::max(1.0, scaled));
 }
 
 Cycle
 MeasuredIterationModel::iterationCycles(
     const runtime::IterationSchedule &schedule)
 {
-    return iterationCyclesFor(compositionOf(schedule));
+    return iterationCyclesFor(mixedCompositionOf(schedule));
 }
 
 } // namespace neupims::core

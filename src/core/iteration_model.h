@@ -18,6 +18,15 @@
  *    itself, memoized on a (optionally sequence-length-quantized)
  *    composition key so a serving run's slowly-drifting batches hit
  *    the cache.
+ *
+ * Both models price mixed prefill+decode iterations. The analytic
+ * model compiles the mixed LayerPlan (prompt tokens as extra GEMM
+ * rows, NPU-side causal prefill attention, prefill KV appends) and,
+ * on pipelined-MHA devices, credits part of the NPU prefill work as
+ * hidden under the PIM decode MHA span (the piggyback slack). The
+ * measured model has no prefill path in the event engine, so it
+ * scales its measured decode cycles by the analytic mixed/decode
+ * ratio; a prefill-only iteration is priced purely analytically.
  */
 
 #ifndef NEUPIMS_CORE_ITERATION_MODEL_H_
@@ -35,6 +44,16 @@
 
 namespace neupims::core {
 
+/** One iteration's full work: decode composition + prefill slices. */
+struct MixedComposition
+{
+    BatchComposition decode;
+    std::vector<model::PrefillSliceSpec> prefill;
+
+    bool hasDecode() const { return decode.batchSize() > 0; }
+    bool hasPrefill() const { return !prefill.empty(); }
+};
+
 class AnalyticIterationModel : public runtime::IterationLatencyModel
 {
   public:
@@ -50,8 +69,14 @@ class AnalyticIterationModel : public runtime::IterationLatencyModel
     /** Composition-level entry (benches, calibration, tests). */
     Cycle iterationCyclesFor(const BatchComposition &comp);
 
+    /** Mixed prefill+decode entry (schedules with prefill slices). */
+    Cycle iterationCyclesFor(const MixedComposition &mix);
+
     /** Steady-state per-layer cycles for @p comp. */
     Cycle perLayerCyclesFor(const BatchComposition &comp);
+
+    /** Steady-state per-layer cycles for a mixed iteration. */
+    Cycle perLayerCyclesFor(const MixedComposition &mix);
 
     /**
      * Scale so one DeviceExecutor measurement of a uniform
@@ -79,6 +104,12 @@ class AnalyticIterationModel : public runtime::IterationLatencyModel
     double denseStreamCycles(Bytes bytes) const;
     /** MHA phase cycles of @p plan for this device's MHA path. */
     double mhaCycles(const model::LayerPlan &plan) const;
+    /** NPU-side prefill attention of @p plan's slices: batched
+     * logit/attend GEMMs + softmax, K/V window streaming from each
+     * slice's channel. */
+    double prefillAttnCycles(const model::LayerPlan &plan) const;
+    /** Unscaled per-layer cycles of a mixed iteration. */
+    double mixedLayerCycles(const MixedComposition &mix);
 
     std::string name_;
     DeviceConfig cfg_;
@@ -112,6 +143,18 @@ class MeasuredIterationModel : public runtime::IterationLatencyModel
 
     Cycle iterationCyclesFor(const BatchComposition &comp);
 
+    /**
+     * Mixed prefill+decode pricing: the event engine executes decode
+     * only, so the measured decode cycles are scaled by the analytic
+     * model's mixed/decode ratio — the analytic scale factor cancels
+     * in the ratio, keeping the result on the measured time scale. A
+     * prefill-only iteration has no measured anchor of its own, so
+     * the analytic value is rescaled by the most recently observed
+     * measured/analytic decode ratio (1.0 until one exists), keeping
+     * every span of a run on one clock.
+     */
+    Cycle iterationCyclesFor(const MixedComposition &mix);
+
     std::uint64_t cacheHits() const { return hits_; }
     std::uint64_t cacheMisses() const { return misses_; }
 
@@ -120,15 +163,22 @@ class MeasuredIterationModel : public runtime::IterationLatencyModel
 
     std::string name_;
     DeviceExecutor executor_;
+    AnalyticIterationModel analytic_; ///< prefill add-on pricing
     int quantizeSeq_;
     std::map<std::vector<std::vector<int>>, Cycle> cache_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    /** Last measured/analytic decode ratio (prefill-only anchor). */
+    double measuredOverAnalytic_ = 1.0;
 };
 
 /** Build @p schedule's composition (full batch + Algorithm-3 subs). */
 BatchComposition
 compositionOf(const runtime::IterationSchedule &schedule);
+
+/** Build @p schedule's mixed composition (decode + prefill slices). */
+MixedComposition
+mixedCompositionOf(const runtime::IterationSchedule &schedule);
 
 } // namespace neupims::core
 

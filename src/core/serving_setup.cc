@@ -48,6 +48,9 @@ servingConfigFor(const DeviceConfig &dev, const model::LlmConfig &llm,
     cfg.scheduler.maxBatch = max_batch;
     cfg.scheduler.minLoadPacking = dev.flags.minLoadPacking;
     cfg.scheduler.estimator = latencyParamsFor(dev, llm, tp);
+    cfg.scheduler.prefill.policy = runtime::PrefillPolicy::Chunked;
+    cfg.scheduler.prefill.chunkTokens = 256;
+    cfg.scheduler.prefill.piggyback = true;
     return cfg;
 }
 

@@ -40,6 +40,11 @@ const ServingBackend &servingBackendByName(const std::string &name);
  * and packing policy, Algorithm-1 estimator parameters, and 3/4 of
  * each channel's capacity reserved for KV pages (the rest holds
  * weights), as the §8.1 setup assumes.
+ *
+ * Prefill defaults to chunked admission (256-token budget) with
+ * piggybacking — the phase-model standard. Callers wanting the
+ * pre-phase-model engine set
+ * `cfg.scheduler.prefill.policy = runtime::PrefillPolicy::Legacy`.
  */
 runtime::ServingConfig
 servingConfigFor(const DeviceConfig &dev, const model::LlmConfig &llm,

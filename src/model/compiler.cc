@@ -32,6 +32,15 @@ LayerPlan::gemmWeightBytes() const
     return total;
 }
 
+Flops
+LayerPlan::prefillAttnFlops() const
+{
+    Flops total = 0.0;
+    for (const auto &p : prefillAttn)
+        total += p.flops;
+    return total;
+}
+
 Compiler::Compiler(const LlmConfig &cfg, int tp, const MemShape &mem)
     : cfg_(cfg), tp_(tp), mem_(mem)
 {
@@ -67,7 +76,37 @@ const LayerPlan &
 Compiler::compileLayer(
     const std::vector<std::vector<int>> &seq_lens_per_channel) const
 {
-    auto it = planCache_.find(seq_lens_per_channel);
+    return compileLayer(seq_lens_per_channel, {});
+}
+
+const LayerPlan &
+Compiler::compileLayer(
+    const std::vector<std::vector<int>> &seq_lens_per_channel,
+    const std::vector<PrefillSliceSpec> &prefill) const
+{
+    // Decode-only compositions keep their historical cache key and
+    // probe with the caller's vector directly (the hot path — no key
+    // copy on a cache hit); prefill slices extend the key behind a
+    // sentinel row no sequence length can produce, so mixed plans
+    // never alias decode plans.
+    if (prefill.empty()) {
+        return cachedPlan(seq_lens_per_channel, seq_lens_per_channel,
+                          prefill);
+    }
+    std::vector<std::vector<int>> key = seq_lens_per_channel;
+    key.push_back({-3}); // separator: decode | prefill
+    for (const auto &s : prefill)
+        key.push_back({s.channel, s.startToken, s.newTokens});
+    return cachedPlan(key, seq_lens_per_channel, prefill);
+}
+
+const LayerPlan &
+Compiler::cachedPlan(
+    const std::vector<std::vector<int>> &key,
+    const std::vector<std::vector<int>> &seq_lens_per_channel,
+    const std::vector<PrefillSliceSpec> &prefill) const
+{
+    auto it = planCache_.find(key);
     if (it != planCache_.end()) {
         ++cacheHits_;
         return it->second;
@@ -76,15 +115,41 @@ Compiler::compileLayer(
     if (planCache_.size() >= kMaxCachedPlans)
         planCache_.clear();
     auto [pos, inserted] = planCache_.emplace(
-        seq_lens_per_channel,
-        compileLayerUncached(seq_lens_per_channel));
+        key, compileLayerUncached(seq_lens_per_channel, prefill));
     NEUPIMS_ASSERT(inserted);
     return pos->second;
 }
 
+PrefillAttnWork
+Compiler::prefillAttnWorkFor(const PrefillSliceSpec &slice) const
+{
+    NEUPIMS_ASSERT(slice.newTokens >= 1 && slice.startToken >= 0);
+    const std::int64_t d_dev = cfg_.dModelPerDevice(tp_);
+    const std::int64_t heads_dev = cfg_.headsPerDevice(tp_);
+
+    PrefillAttnWork work;
+    work.channel = slice.channel;
+    work.newTokens = slice.newTokens;
+    work.contextLen = slice.startToken + slice.newTokens;
+    // Causal: new query row i (1-based within the slice) attends to
+    // startToken + i keys, per device-resident head.
+    const std::uint64_t n = static_cast<std::uint64_t>(slice.newTokens);
+    work.softmaxElems =
+        (n * static_cast<std::uint64_t>(slice.startToken) +
+         n * (n + 1) / 2) *
+        static_cast<std::uint64_t>(heads_dev);
+    // Logit reads the K window, attend the V window (fp16).
+    work.kvReadBytes = 2 * static_cast<Bytes>(work.contextLen) *
+                       static_cast<Bytes>(d_dev) * 2;
+    work.flops = work.logitShape(d_dev).flops() +
+                 work.attendShape(d_dev).flops();
+    return work;
+}
+
 LayerPlan
 Compiler::compileLayerUncached(
-    const std::vector<std::vector<int>> &seq_lens_per_channel) const
+    const std::vector<std::vector<int>> &seq_lens_per_channel,
+    const std::vector<PrefillSliceSpec> &prefill) const
 {
     NEUPIMS_ASSERT(static_cast<int>(seq_lens_per_channel.size()) <=
                    mem_.channels);
@@ -159,21 +224,41 @@ Compiler::compileLayerUncached(
         plan.mha.totalSoftmaxElems += logit.softmaxElems;
     }
 
-    NEUPIMS_ASSERT(batch >= 1, "empty batch");
     plan.batch = batch;
 
+    // Prefill slices: their prompt tokens join the weight GEMMs as
+    // extra activation rows, their attention runs NPU-side, and their
+    // fresh K/V vectors append to their channel's cache.
+    for (const auto &slice : prefill) {
+        NEUPIMS_ASSERT(slice.channel >= 0 &&
+                           slice.channel < mem_.channels,
+                       "prefill slice on invalid channel ",
+                       slice.channel);
+        PrefillAttnWork work = prefillAttnWorkFor(slice);
+        plan.prefillTokens += slice.newTokens;
+        plan.mha.kvAppendBytes[slice.channel] +=
+            static_cast<Bytes>(slice.newTokens) *
+            cfg_.kvBytesPerTokenPerLayer(tp_);
+        plan.prefillAttn.push_back(work);
+    }
+
+    NEUPIMS_ASSERT(batch + plan.prefillTokens >= 1, "empty batch");
+
+    // Every activation row — one per decode request, one per prefill
+    // token — streams through the same weight GEMMs.
+    const std::int64_t rows = batch + plan.prefillTokens;
     auto add_gemm = [&plan](std::string label, std::int64_t m,
                             std::int64_t k, std::int64_t n) {
         plan.gemms.push_back(GemmWork{std::move(label),
                                       npu::GemmShape{m, k, n}});
     };
-    add_gemm("qkv_generation", batch, d, 3 * d_dev);
-    add_gemm("projection", batch, d_dev, d);
-    add_gemm("ffn_up", batch, d, cfg_.ffnDim() / tp_);
-    add_gemm("ffn_down", batch, cfg_.ffnDim() / tp_, d);
+    add_gemm("qkv_generation", rows, d, 3 * d_dev);
+    add_gemm("projection", rows, d_dev, d);
+    add_gemm("ffn_up", rows, d, cfg_.ffnDim() / tp_);
+    add_gemm("ffn_down", rows, cfg_.ffnDim() / tp_, d);
 
-    // Two layer norms, two residual adds over [batch, d] activations.
-    plan.vectorElems = static_cast<std::uint64_t>(batch) *
+    // Two layer norms, two residual adds over [rows, d] activations.
+    plan.vectorElems = static_cast<std::uint64_t>(rows) *
                        static_cast<std::uint64_t>(d) * 4;
     return plan;
 }

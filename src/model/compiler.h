@@ -67,6 +67,49 @@ struct PimRequestWork
     std::uint64_t softmaxElems = 0;
 };
 
+/**
+ * One request's prefill slice as the scheduler hands it down: the
+ * next @p newTokens prompt tokens of a request whose KV lives on
+ * @p channel, @p startToken prompt tokens already processed by
+ * earlier chunks.
+ */
+struct PrefillSliceSpec
+{
+    ChannelId channel = 0;
+    int startToken = 0;
+    int newTokens = 0;
+};
+
+/**
+ * The NPU-side attention work of one prefill slice: causal
+ * self-attention of newTokens fresh queries against the
+ * startToken + newTokens keys resident so far. Compute-bound batched
+ * GEMMs on the systolic arrays — no PIM GEMV is emitted for prefill.
+ */
+struct PrefillAttnWork
+{
+    ChannelId channel = 0;
+    int newTokens = 0;
+    int contextLen = 0; ///< startToken + newTokens (causal window)
+    /** Softmax elements: per device head, each new query row i
+     * attends to startToken + i keys (causal). */
+    std::uint64_t softmaxElems = 0;
+    Bytes kvReadBytes = 0; ///< K+V bytes streamed from the channel
+    Flops flops = 0.0;     ///< logit + attend MACs x 2
+
+    /** Logit GEMM [new x d_dev] x [d_dev x ctx] (summed over heads). */
+    npu::GemmShape logitShape(std::int64_t d_dev) const
+    {
+        return npu::GemmShape{newTokens, d_dev, contextLen};
+    }
+
+    /** Attend GEMM [new x ctx] x [ctx x d_dev] (summed over heads). */
+    npu::GemmShape attendShape(std::int64_t d_dev) const
+    {
+        return npu::GemmShape{newTokens, contextLen, d_dev};
+    }
+};
+
 /** Channel-level aggregate of a GEMV phase (analysis/tests). */
 struct PimChannelWork
 {
@@ -99,16 +142,26 @@ struct MhaWork
     }
 };
 
-/** Everything one decoder layer needs in the generation phase. */
+/**
+ * Everything one decoder layer needs for one iteration. A plan can be
+ * decode-only (the generation phase, as before the phase model),
+ * prefill-only, or mixed: the weight GEMMs carry
+ * batch + prefillTokens activation rows, decode MHA runs as PIM GEMV
+ * (or NPU streaming), and prefill attention runs NPU-side.
+ */
 struct LayerPlan
 {
     std::vector<GemmWork> gemms; ///< QKV, projection, FFN up, FFN down
-    MhaWork mha;
+    MhaWork mha;                 ///< decode-phase attention (PIM GEMV)
+    std::vector<PrefillAttnWork> prefillAttn; ///< NPU prefill attention
     std::uint64_t vectorElems = 0; ///< layer norms + residuals
-    int batch = 0;
+    int batch = 0;         ///< decode-phase requests
+    int prefillTokens = 0; ///< prompt tokens prefilled this iteration
 
     Flops gemmFlops() const;
     Bytes gemmWeightBytes() const;
+    /** Total NPU-side prefill-attention FLOPs (logit + attend). */
+    Flops prefillAttnFlops() const;
 };
 
 class Compiler
@@ -142,6 +195,24 @@ class Compiler
     const LayerPlan &compileLayer(
         const std::vector<std::vector<int>> &seq_lens_per_channel) const;
 
+    /**
+     * Compile a mixed prefill+decode layer: decode requests as in
+     * compileLayer, plus @p prefill slices whose prompt tokens join
+     * the weight GEMMs as extra activation rows, emit NPU-side causal
+     * attention work, and append their K/V vectors to their channel.
+     * Decode-only calls (empty @p prefill) share compileLayer's cache
+     * entries; an empty decode batch with non-empty prefill is valid
+     * (a dedicated prefill iteration). Same memoization and lifetime
+     * rules as compileLayer.
+     */
+    const LayerPlan &compileLayer(
+        const std::vector<std::vector<int>> &seq_lens_per_channel,
+        const std::vector<PrefillSliceSpec> &prefill) const;
+
+    /** The NPU attention work of one prefill slice. */
+    PrefillAttnWork prefillAttnWorkFor(
+        const PrefillSliceSpec &slice) const;
+
     /** Compilation-cache statistics (engine benchmarks and tests). */
     std::uint64_t planCacheHits() const { return cacheHits_; }
     std::uint64_t planCacheMisses() const { return cacheMisses_; }
@@ -152,8 +223,15 @@ class Compiler
     int attendRowTiles(int seq_len) const;
 
   private:
+    /** Probe the plan cache with @p key; compile and insert on miss. */
+    const LayerPlan &cachedPlan(
+        const std::vector<std::vector<int>> &key,
+        const std::vector<std::vector<int>> &seq_lens_per_channel,
+        const std::vector<PrefillSliceSpec> &prefill) const;
+
     LayerPlan compileLayerUncached(
-        const std::vector<std::vector<int>> &seq_lens_per_channel) const;
+        const std::vector<std::vector<int>> &seq_lens_per_channel,
+        const std::vector<PrefillSliceSpec> &prefill) const;
 
     LlmConfig cfg_;
     int tp_;

@@ -1,6 +1,7 @@
 #include "runtime/batch_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.h"
 
@@ -41,6 +42,9 @@ BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,
     : cfg_(cfg), pool_(pool), kv_(kv), estimator_(cfg.estimator)
 {
     NEUPIMS_ASSERT(cfg_.channels >= 1 && cfg_.maxBatch >= 1);
+    NEUPIMS_ASSERT(cfg_.prefill.policy != PrefillPolicy::Chunked ||
+                       cfg_.prefill.chunkTokens >= 1,
+                   "chunked prefill needs a positive token budget");
 }
 
 ChannelId
@@ -70,14 +74,40 @@ BatchScheduler::pickChannel(const Request &req,
     return kInvalidId;
 }
 
+void
+BatchScheduler::schedulePrefill(
+    IterationSchedule &out, const std::vector<Request *> &running)
+{
+    // FIFO over the running set (admission order): earlier prompts
+    // finish their prefill first, bounding TTFT head-of-line effects.
+    int budget = cfg_.prefill.policy == PrefillPolicy::Chunked
+                     ? cfg_.prefill.chunkTokens
+                     : std::numeric_limits<int>::max();
+    for (Request *req : running) {
+        if (!req->prefilling())
+            continue;
+        if (budget <= 0)
+            break;
+        int tokens = std::min(req->remainingPrefill(), budget);
+        NEUPIMS_ASSERT(tokens >= 1);
+        out.prefill.push_back(
+            PrefillSlice{req, req->prefilledTokens, tokens});
+        budget -= tokens;
+    }
+}
+
 IterationSchedule
 BatchScheduler::scheduleIteration()
 {
     IterationSchedule out;
 
-    // Current channel loads from the already-running batch.
+    // Current channel loads from the already-running batch. Requests
+    // still in prefill count with their eventual prompt-length load:
+    // placement happened at admission, and Algorithm 2 balances the
+    // decode MHA they are about to contribute.
     std::vector<double> loads(cfg_.channels, 0.0);
-    for (Request *req : pool_.runningRequests()) {
+    std::vector<Request *> running = pool_.runningRequests();
+    for (Request *req : running) {
         NEUPIMS_ASSERT(req->channel >= 0);
         loads[req->channel] +=
             estimator_.estimate(req->currentSeqLen());
@@ -87,7 +117,7 @@ BatchScheduler::scheduleIteration()
     while (pool_.runningCount() < static_cast<std::size_t>(
                                       cfg_.maxBatch) &&
            pool_.waitingCount() > 0) {
-        auto admitted = pool_.admit(1);
+        auto admitted = pool_.admit(1, cfg_.prefill.enabled());
         NEUPIMS_ASSERT(admitted.size() == 1);
         Request &req = pool_.request(admitted[0]);
         ChannelId ch = pickChannel(req, loads);
@@ -101,10 +131,26 @@ BatchScheduler::scheduleIteration()
         bool ok = kv_.allocateSequence(req.id, ch, req.currentSeqLen());
         NEUPIMS_ASSERT(ok, "KV allocation raced admission check");
         loads[ch] += estimator_.estimate(req.currentSeqLen());
+        running.push_back(&req);
         ++out.admitted;
     }
 
-    out.batch = pool_.runningRequests();
+    if (cfg_.prefill.enabled()) {
+        schedulePrefill(out, running);
+        // Without piggybacking, a pending prompt pass owns the
+        // iteration: decode stalls until the prefill queue drains.
+        bool prefill_only =
+            !cfg_.prefill.piggyback && !out.prefill.empty();
+        if (!prefill_only) {
+            for (Request *req : running) {
+                if (req->decoding())
+                    out.batch.push_back(req);
+            }
+        }
+    } else {
+        out.batch = std::move(running);
+    }
+
     out.perChannel = groupByChannel(out.batch, cfg_.channels);
     out.subBatches = partitionSubBatches(out.perChannel);
     out.channelLoads = std::move(loads);
@@ -112,16 +158,18 @@ BatchScheduler::scheduleIteration()
 }
 
 int
-BatchScheduler::completeIteration()
+BatchScheduler::completeIteration(const IterationSchedule &schedule)
 {
-    for (Request *req : pool_.runningRequests()) {
+    for (const PrefillSlice &slice : schedule.prefill)
+        slice.req->advancePrefill(slice.tokens);
+    for (Request *req : schedule.batch) {
         if (!kv_.appendToken(req->id)) {
             warn("KV channel ", req->channel,
                  " out of pages; request ", req->id,
                  " token not cached (stall modeled as continue)");
         }
     }
-    auto retired = pool_.completeIteration();
+    auto retired = pool_.advanceRequests(schedule.batch);
     for (RequestId id : retired)
         kv_.freeSequence(id);
     return static_cast<int>(retired.size());

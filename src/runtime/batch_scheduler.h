@@ -1,12 +1,19 @@
 /**
  * @file
- * Orca-style iteration-level batch scheduler (paper §2.2, Fig. 7).
+ * Orca-style iteration-level batch scheduler (paper §2.2, Fig. 7),
+ * phase-aware: requests admitted from the pool first move through the
+ * prefill phase (whole-prompt, or fixed-token-budget chunked
+ * admission) before joining decode.
  *
  * At every iteration boundary the scheduler retires finished
  * requests, admits waiting ones while the paged KV cache has room,
  * assigns newly admitted requests to PIM channels (greedy min-load
- * bin packing for NeuPIMs, round-robin for the naive baseline), and
- * partitions the active batch into two sub-batches for interleaving.
+ * bin packing for NeuPIMs, round-robin for the naive baseline),
+ * schedules prefill slices against the per-iteration token budget —
+ * either piggybacked onto the decode iteration (the prompt GEMM rows
+ * ride the NPU while the PIM side runs decode MHA) or as dedicated
+ * prefill-only iterations — and partitions the active decode batch
+ * into two sub-batches for interleaving.
  */
 
 #ifndef NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_
@@ -22,24 +29,79 @@
 
 namespace neupims::runtime {
 
+/** How admitted prompts are routed through the prefill phase. */
+enum class PrefillPolicy : std::uint8_t
+{
+    /** Pre-phase-model behavior: admission implies decode; the prompt
+     * pass is free and TTFT is pure queueing delay + one iteration. */
+    Legacy,
+    /** Each prefilling request processes its whole remaining prompt in
+     * a single iteration (no token budget). */
+    WholePrompt,
+    /** At most chunkTokens prompt tokens are prefilled per iteration
+     * across all prefilling requests (FIFO by admission). */
+    Chunked,
+};
+
+struct PrefillConfig
+{
+    PrefillPolicy policy = PrefillPolicy::Legacy;
+    /** Per-iteration prompt-token budget (Chunked policy only). */
+    int chunkTokens = 256;
+    /**
+     * Mix prefill slices into decode iterations (the NPU prefill work
+     * overlaps the PIM decode MHA). When false, prefill runs in
+     * dedicated iterations that stall decode until the prompt pass
+     * completes (classic stall-the-world prefill).
+     */
+    bool piggyback = true;
+
+    bool enabled() const { return policy != PrefillPolicy::Legacy; }
+};
+
 struct SchedulerConfig
 {
     int channels = 32;
     int maxBatch = 256;
     bool minLoadPacking = true; ///< Algorithm 2 vs round-robin
     MhaLatencyParams estimator;
+    PrefillConfig prefill;
+};
+
+/** One request's prefill work within an iteration. */
+struct PrefillSlice
+{
+    Request *req = nullptr;
+    int startToken = 0; ///< prompt tokens already prefilled before
+    int tokens = 0;     ///< prompt tokens processed this iteration
 };
 
 /** The work the scheduler hands the executor for one iteration. */
 struct IterationSchedule
 {
+    /** Decode-phase participants: each emits one token this iteration. */
     std::vector<Request *> batch;
     std::vector<std::vector<Request *>> perChannel;
     SubBatches subBatches;
+    /** Prefill slices scheduled this iteration (FIFO by admission). */
+    std::vector<PrefillSlice> prefill;
     std::vector<double> channelLoads; ///< Algorithm-1 estimates
     int admitted = 0;
 
     int batchSize() const { return static_cast<int>(batch.size()); }
+
+    /** Total prompt tokens prefilled this iteration. */
+    int
+    prefillTokens() const
+    {
+        int n = 0;
+        for (const auto &s : prefill)
+            n += s.tokens;
+        return n;
+    }
+
+    /** No decode work and no prefill work this iteration. */
+    bool empty() const { return batch.empty() && prefill.empty(); }
 
     /** Current sequence lengths grouped by channel (compiler input). */
     std::vector<std::vector<int>> seqLensPerChannel() const;
@@ -65,16 +127,22 @@ class BatchScheduler
     IterationSchedule scheduleIteration();
 
     /**
-     * Account one completed iteration: every running request appends
-     * one KV token and advances; finished requests release their
-     * pages. @return number of retired requests.
+     * Account one completed iteration of @p schedule: every prefill
+     * slice advances its request's prefill cursor (transitioning it
+     * to decode when the prompt is done), every decode participant
+     * appends one KV token and advances, and finished requests
+     * release their pages. @return number of retired requests.
      */
-    int completeIteration();
+    int completeIteration(const IterationSchedule &schedule);
 
   private:
     /** Pick a channel for @p req, honoring KV capacity; -1 if full. */
     ChannelId pickChannel(const Request &req,
                           std::vector<double> &loads);
+
+    /** Fill @p out.prefill from the prefilling members of @p running. */
+    void schedulePrefill(IterationSchedule &out,
+                         const std::vector<Request *> &running);
 
     SchedulerConfig cfg_;
     RequestPool &pool_;

@@ -2,6 +2,15 @@
  * @file
  * An LLM inference request as tracked by the serving scheduler
  * (paper Fig. 7: the request pool table rows).
+ *
+ * Requests move through an explicit two-phase lifecycle: the
+ * compute-bound *prefill* (initiation) pass over the prompt, then the
+ * memory-bound *decode* (incremental generation) pass NeuPIMs
+ * accelerates with PIM GEMV. The prefill cursor (`prefilledTokens`)
+ * tracks chunked-prefill progress; a request only generates tokens
+ * once the cursor reaches `inputLength`. Legacy admit-means-decode
+ * behavior (the pre-phase-model engine) is recovered by skipping
+ * prefill at admission (`skipPrefill`).
  */
 
 #ifndef NEUPIMS_RUNTIME_REQUEST_H_
@@ -9,6 +18,7 @@
 
 #include <cstdint>
 
+#include "common/log.h"
 #include "common/types.h"
 
 namespace neupims::runtime {
@@ -16,9 +26,15 @@ namespace neupims::runtime {
 enum class RequestStatus : std::uint8_t
 {
     Waiting, ///< queued, not yet admitted to the batch
-    Running, ///< in the active batch, generating
+    Running, ///< in the active batch, prefilling or generating
     Done,    ///< produced all output tokens
     Dropped, ///< rejected: can never fit the device's KV cache
+};
+
+enum class RequestPhase : std::uint8_t
+{
+    Prefill, ///< prompt pass in progress (prefilledTokens < inputLength)
+    Decode,  ///< prompt processed; generating one token per iteration
 };
 
 struct Request
@@ -27,12 +43,15 @@ struct Request
     int inputLength = 1;      ///< prompt tokens
     int outputLength = 1;     ///< tokens to generate
     int generatedTokens = 0;  ///< tokens produced so far
+    int prefilledTokens = 0;  ///< prompt tokens processed so far
     ChannelId channel = kInvalidId; ///< PIM channel holding its KV cache
     RequestStatus status = RequestStatus::Waiting;
+    RequestPhase phase = RequestPhase::Prefill;
 
     // --- serving timeline (simulated cycles; kCycleMax = not yet) ----
     Cycle arrivalCycle = 0;           ///< entered the request pool
     Cycle admitCycle = kCycleMax;     ///< joined the running batch
+    Cycle prefillEndCycle = kCycleMax; ///< prompt fully prefilled
     Cycle firstTokenCycle = kCycleMax; ///< first output token done
     Cycle finishCycle = kCycleMax;    ///< last output token done
 
@@ -41,6 +60,32 @@ struct Request
     ttft() const
     {
         return firstTokenCycle - arrivalCycle;
+    }
+
+    // --- TTFT decomposition (queueing + prefill + first decode) -----
+    // The three components are exact cycle spans that sum to ttft():
+    // arrival -> admit -> prefillEnd -> firstToken.
+
+    /** Admission wait; @pre admitCycle is stamped. */
+    Cycle
+    queueingDelay() const
+    {
+        return admitCycle - arrivalCycle;
+    }
+
+    /** Prompt-pass span (0 under legacy admit-means-decode);
+     * @pre prefillEndCycle is stamped. */
+    Cycle
+    prefillLatency() const
+    {
+        return prefillEndCycle - admitCycle;
+    }
+
+    /** First generation iteration; @pre firstTokenCycle is stamped. */
+    Cycle
+    firstDecodeLatency() const
+    {
+        return firstTokenCycle - prefillEndCycle;
     }
 
     /** End-to-end latency; @pre finishCycle is stamped. */
@@ -73,10 +118,60 @@ struct Request
         return generatedTokens >= outputLength;
     }
 
-    /** Advance one generation iteration (one token). */
+    // --- phase machine ----------------------------------------------
+
+    bool prefilling() const { return phase == RequestPhase::Prefill; }
+    bool decoding() const { return phase == RequestPhase::Decode; }
+
+    /** Prompt tokens not yet prefilled. */
+    int
+    remainingPrefill() const
+    {
+        return inputLength - prefilledTokens;
+    }
+
+    /** Enter the prefill phase on admission. */
+    void
+    beginPrefill()
+    {
+        phase = RequestPhase::Prefill;
+        prefilledTokens = 0;
+    }
+
+    /**
+     * Legacy admit-means-decode: the prompt is considered processed
+     * the moment the request is admitted (pre-phase-model engine).
+     */
+    void
+    skipPrefill()
+    {
+        phase = RequestPhase::Decode;
+        prefilledTokens = inputLength;
+    }
+
+    /**
+     * Advance the prefill cursor by @p tokens; transitions to Decode
+     * when the whole prompt has been processed.
+     * @pre prefilling() and tokens <= remainingPrefill()
+     */
+    void
+    advancePrefill(int tokens)
+    {
+        NEUPIMS_ASSERT(prefilling(), "request ", id, " not in prefill");
+        NEUPIMS_ASSERT(tokens >= 1 && tokens <= remainingPrefill(),
+                       "prefill overrun on request ", id);
+        prefilledTokens += tokens;
+        if (prefilledTokens >= inputLength)
+            phase = RequestPhase::Decode;
+    }
+
+    /** Advance one generation iteration (one token).
+     * @pre decoding() — a request never decodes mid-prefill. */
     void
     advance()
     {
+        NEUPIMS_ASSERT(decoding(), "request ", id,
+                       " decoded before prefill completed");
         ++generatedTokens;
         if (finished())
             status = RequestStatus::Done;

@@ -52,13 +52,17 @@ RequestPool::nextArrivalCycle() const
 }
 
 std::vector<RequestId>
-RequestPool::admit(std::size_t max_new)
+RequestPool::admit(std::size_t max_new, bool prefill)
 {
     std::vector<RequestId> admitted;
     while (admitted.size() < max_new && !waiting_.empty()) {
         RequestId id = waiting_.front();
         waiting_.pop_front();
         all_[id].status = RequestStatus::Running;
+        if (prefill)
+            all_[id].beginPrefill();
+        else
+            all_[id].skipPrefill();
         running_.push_back(id);
         admitted.push_back(id);
     }
@@ -98,19 +102,30 @@ RequestPool::runningRequests()
 std::vector<RequestId>
 RequestPool::completeIteration()
 {
+    return advanceRequests(runningRequests());
+}
+
+std::vector<RequestId>
+RequestPool::advanceRequests(const std::vector<Request *> &decoded)
+{
     std::vector<RequestId> retired;
-    for (RequestId id : running_) {
-        all_[id].advance();
+    for (Request *req : decoded) {
+        NEUPIMS_ASSERT(req->status == RequestStatus::Running,
+                       "advancing non-running request ", req->id);
+        req->advance();
         ++totalTokens_;
-        if (all_[id].finished())
-            retired.push_back(id);
+        if (req->finished())
+            retired.push_back(req->id);
     }
-    running_.erase(std::remove_if(running_.begin(), running_.end(),
-                                  [this](RequestId id) {
-                                      return all_[id].finished();
-                                  }),
-                   running_.end());
-    completed_ += retired.size();
+    if (!retired.empty()) {
+        running_.erase(
+            std::remove_if(running_.begin(), running_.end(),
+                           [this](RequestId id) {
+                               return all_[id].finished();
+                           }),
+            running_.end());
+        completed_ += retired.size();
+    }
     return retired;
 }
 

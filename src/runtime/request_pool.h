@@ -53,9 +53,14 @@ class RequestPool
 
     /**
      * Admit up to @p max_new waiting requests into the running batch.
+     * With @p prefill the admitted requests enter the prefill phase
+     * (cursor at 0); without it they are decode-ready (legacy
+     * admit-means-decode). The phase decision lives here so no caller
+     * can admit a request with an unset phase.
      * @return the admitted requests' ids.
      */
-    std::vector<RequestId> admit(std::size_t max_new);
+    std::vector<RequestId> admit(std::size_t max_new,
+                                 bool prefill = false);
 
     /**
      * Undo an admission: move a just-admitted request back to the
@@ -77,8 +82,19 @@ class RequestPool
     /**
      * Advance every running request by one generated token and retire
      * the finished ones. @return ids of retired requests.
+     *
+     * Legacy whole-batch form; phase-aware callers use
+     * advanceRequests() with the decode participants only.
      */
     std::vector<RequestId> completeIteration();
+
+    /**
+     * Advance exactly the given decode-phase requests by one generated
+     * token and retire the finished ones (in running order). Requests
+     * still in prefill are left untouched. @return retired ids.
+     */
+    std::vector<RequestId>
+    advanceRequests(const std::vector<Request *> &decoded);
 
     Request &request(RequestId id);
     const Request &request(RequestId id) const;

@@ -55,7 +55,7 @@ ServingEngine::run()
         }
 
         auto schedule = scheduler_.scheduleIteration();
-        if (schedule.batchSize() == 0) {
+        if (schedule.empty()) {
             // Nothing running and the head waiting request cannot be
             // placed on any channel even with the device empty — it
             // can never be served. Reject it rather than livelock.
@@ -75,19 +75,34 @@ ServingEngine::run()
             max_load = std::max(max_load, l);
 
         // Stamp the serving timeline. Requests admitted this iteration
-        // were picked up at the iteration boundary `now`; every
-        // running request emits one token when the iteration
+        // were picked up at the iteration boundary `now` (whether or
+        // not they received a prefill slice yet); a legacy admission
+        // skips prefill, so its prefill span collapses to zero.
+        for (Request *req : pool_.runningRequests()) {
+            if (req->admitCycle == kCycleMax) {
+                req->admitCycle = now;
+                if (req->decoding())
+                    req->prefillEndCycle = now;
+            }
+        }
+        // A slice that consumes the last prompt tokens completes the
+        // prefill phase when the iteration does.
+        for (const PrefillSlice &slice : schedule.prefill) {
+            if (slice.startToken + slice.tokens >=
+                slice.req->inputLength)
+                slice.req->prefillEndCycle = iter_end;
+        }
+        // Every decode participant emits one token when the iteration
         // completes; a request emitting its last token finishes.
         for (Request *req : schedule.batch) {
-            if (req->admitCycle == kCycleMax)
-                req->admitCycle = now;
             if (req->generatedTokens == 0)
                 req->firstTokenCycle = iter_end;
             if (req->generatedTokens + 1 >= req->outputLength)
                 req->finishCycle = iter_end;
         }
 
-        int retired = scheduler_.completeIteration();
+        int prefill_tokens = schedule.prefillTokens();
+        int retired = scheduler_.completeIteration(schedule);
 
         if (cfg_.recordTrace) {
             IterationTraceRow row;
@@ -95,6 +110,8 @@ ServingEngine::run()
             row.startCycle = now;
             row.iterationCycles = iter_cycles;
             row.batch = schedule.batchSize();
+            row.prefilling = static_cast<int>(schedule.prefill.size());
+            row.prefillTokens = prefill_tokens;
             row.admitted = schedule.admitted;
             row.retired = retired;
             row.waiting = static_cast<int>(pool_.waitingCount());
@@ -103,7 +120,11 @@ ServingEngine::run()
             trace_.push_back(row);
         }
 
-        batchSum += static_cast<std::uint64_t>(schedule.batchSize());
+        report.prefilledTokens +=
+            static_cast<std::uint64_t>(prefill_tokens);
+        batchSum += static_cast<std::uint64_t>(
+            schedule.batchSize() +
+            static_cast<int>(schedule.prefill.size()));
         now = iter_end;
         ++iteration;
 
@@ -125,15 +146,32 @@ ServingEngine::run()
                             static_cast<double>(iteration)
                       : 0.0;
 
-    // Latency distributions over the completed requests, in request
-    // id (= submission) order so the report is deterministic.
+    report.requestsInFlight = report.requestsSubmitted -
+                              report.requestsCompleted -
+                              report.requestsDropped;
+
+    // Latency distributions in request id (= submission) order so the
+    // report is deterministic. A safety stop leaves requests in
+    // flight with kCycleMax timeline sentinels; each statistic only
+    // samples requests whose relevant stamps exist, so sentinels
+    // never fold into the percentiles: TTFT (and its decomposition)
+    // covers every request that produced a first token, end-to-end
+    // only the finished ones.
     for (RequestId id = 0;
          id < static_cast<RequestId>(report.requestsSubmitted); ++id) {
         const Request &req = pool_.request(id);
+        if (req.firstTokenCycle != kCycleMax) {
+            report.ttftUs.record(cyclesToMicros(req.ttft()));
+            report.queueUs.record(
+                cyclesToMicros(req.queueingDelay()));
+            report.prefillUs.record(
+                cyclesToMicros(req.prefillLatency()));
+            report.firstDecodeUs.record(
+                cyclesToMicros(req.firstDecodeLatency()));
+        }
         if (req.status != RequestStatus::Done ||
             req.finishCycle == kCycleMax)
             continue;
-        report.ttftUs.record(cyclesToMicros(req.ttft()));
         report.e2eUs.record(cyclesToMicros(req.endToEnd()));
         report.perTokenMs.record(
             cyclesToMicros(req.endToEnd()) * 1e-3 /

@@ -1,8 +1,9 @@
 /**
  * @file
- * Closed-loop serving engine: drives the Orca-style BatchScheduler
- * through simulated wall-clock time with request arrivals from a
- * pluggable TrafficModel, and tracks per-request TTFT,
+ * Closed-loop serving engine: drives the phase-aware Orca-style
+ * BatchScheduler through simulated wall-clock time with request
+ * arrivals from a pluggable TrafficModel, and tracks per-request TTFT
+ * (decomposed into queueing, prefill and first-decode spans),
  * time-between-tokens and end-to-end latency.
  *
  * Arrival generation is open-loop (requests arrive on the traffic
@@ -68,7 +69,9 @@ struct IterationTraceRow
     int iteration = 0;
     Cycle startCycle = 0;      ///< clock when the iteration began
     Cycle iterationCycles = 0; ///< latency the model returned
-    int batch = 0;
+    int batch = 0;             ///< decode participants
+    int prefilling = 0;        ///< prefill slices this iteration
+    int prefillTokens = 0;     ///< prompt tokens prefilled
     int admitted = 0;
     int retired = 0;
     int waiting = 0; ///< waiting count after admission
@@ -86,14 +89,25 @@ struct ServingReport
     int requestsSubmitted = 0;
     int requestsCompleted = 0;
     int requestsDropped = 0;
+    /** Admitted or waiting but unfinished when the run stopped (only
+     * non-zero when a safety stop trips). Their unstamped timeline
+     * sentinels are excluded from every LatencyStats below. */
+    int requestsInFlight = 0;
     Cycle makespanCycles = 0; ///< clock when the last request finished
     std::uint64_t generatedTokens = 0;
+    std::uint64_t prefilledTokens = 0; ///< prompt tokens prefilled
     int iterations = 0;
-    double meanBatchSize = 0.0;
+    double meanBatchSize = 0.0; ///< decode + prefill participants
     bool hitSafetyStop = false; ///< maxCycles/maxIterations tripped
 
     /** Latency distributions in microseconds. */
     LatencyStats ttftUs;
+    /** TTFT decomposition: per-request queueing, prefill and
+     * first-decode spans. Component cycle spans sum to ttft()
+     * exactly; prefill is identically 0 under the legacy policy. */
+    LatencyStats queueUs;
+    LatencyStats prefillUs;
+    LatencyStats firstDecodeUs;
     LatencyStats tbtUs; ///< mean time between tokens, per request
     LatencyStats e2eUs;
     /** End-to-end latency normalized per output token (ms/token) —

@@ -180,6 +180,89 @@ TEST_F(CompilerTest, CachedPlanEqualsFreshCompile)
     EXPECT_EQ(plan.mha.totalSoftmaxElems, ref.mha.totalSoftmaxElems);
 }
 
+TEST_F(CompilerTest, MixedPlanAddsPrefillRowsToGemms)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {100, 200};
+    std::vector<PrefillSliceSpec> prefill = {{2, 0, 64}, {5, 128, 32}};
+    const auto &plan = compiler.compileLayer(lens, prefill);
+
+    EXPECT_EQ(plan.batch, 2);
+    EXPECT_EQ(plan.prefillTokens, 96);
+    // Every prompt token is an extra activation row in all 4 GEMMs.
+    for (const auto &g : plan.gemms)
+        EXPECT_EQ(g.shape.m, 2 + 96);
+    // Vector ops cover decode + prefill rows.
+    EXPECT_EQ(plan.vectorElems, (2u + 96u) * 7168 * 4);
+    // Decode MHA is untouched by prefill (no PIM GEMV for prompts).
+    EXPECT_EQ(plan.mha.requests[0].size(), 2u);
+    EXPECT_EQ(plan.mha.requests[2].size(), 0u);
+    ASSERT_EQ(plan.prefillAttn.size(), 2u);
+}
+
+TEST_F(CompilerTest, PrefillAttnWorkIsCausal)
+{
+    // Second chunk of a prompt: 32 new queries against 128 + 32 keys.
+    PrefillSliceSpec slice{5, 128, 32};
+    auto work = compiler.prefillAttnWorkFor(slice);
+    EXPECT_EQ(work.channel, 5);
+    EXPECT_EQ(work.newTokens, 32);
+    EXPECT_EQ(work.contextLen, 160);
+    // Causal softmax: per device head, query i sees 128 + i keys.
+    std::uint64_t rows = 32ull * 128 + 32ull * 33 / 2;
+    EXPECT_EQ(work.softmaxElems, rows * (56 / 4));
+    // K and V windows, fp16, d_dev wide.
+    EXPECT_EQ(work.kvReadBytes, 2ull * 160 * 1792 * 2);
+    // Logit + attend MACs: 2 GEMMs of 2*new*ctx*d_dev FLOPs each.
+    EXPECT_DOUBLE_EQ(work.flops, 2.0 * 2.0 * 32 * 160 * 1792);
+}
+
+TEST_F(CompilerTest, PrefillAppendsKvOnSliceChannel)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {100};
+    std::vector<PrefillSliceSpec> prefill = {{0, 0, 48}, {9, 16, 16}};
+    const auto &plan = compiler.compileLayer(lens, prefill);
+    Bytes per_tok = cfg.kvBytesPerTokenPerLayer(4);
+    // Channel 0: one decode token + 48 prefill tokens.
+    EXPECT_EQ(plan.mha.kvAppendBytes[0], per_tok * (1 + 48));
+    // Channel 9: prefill only.
+    EXPECT_EQ(plan.mha.kvAppendBytes[9], per_tok * 16);
+}
+
+TEST_F(CompilerTest, PrefillOnlyPlanHasNoDecodeWork)
+{
+    std::vector<std::vector<int>> lens(32);
+    std::vector<PrefillSliceSpec> prefill = {{0, 0, 256}};
+    const auto &plan = compiler.compileLayer(lens, prefill);
+    EXPECT_EQ(plan.batch, 0);
+    EXPECT_EQ(plan.prefillTokens, 256);
+    for (const auto &g : plan.gemms)
+        EXPECT_EQ(g.shape.m, 256);
+    EXPECT_EQ(plan.mha.kvReadBytes, 0u);
+    EXPECT_EQ(plan.mha.totalSoftmaxElems, 0u);
+}
+
+TEST_F(CompilerTest, MixedPlansDoNotAliasDecodePlans)
+{
+    std::vector<std::vector<int>> lens(32);
+    lens[0] = {100, 200};
+    const auto &decode_only = compiler.compileLayer(lens);
+    EXPECT_EQ(compiler.planCacheMisses(), 1u);
+    std::vector<PrefillSliceSpec> prefill = {{1, 0, 8}};
+    const auto &mixed = compiler.compileLayer(lens, prefill);
+    EXPECT_EQ(compiler.planCacheMisses(), 2u);
+    EXPECT_NE(&decode_only, &mixed);
+    // Decode-only recall still hits the original entry.
+    const auto &again = compiler.compileLayer(lens);
+    EXPECT_EQ(&decode_only, &again);
+    EXPECT_EQ(compiler.planCacheHits(), 1u);
+    // The mixed plan is memoized on its own key.
+    const auto &mixed_again = compiler.compileLayer(lens, prefill);
+    EXPECT_EQ(&mixed, &mixed_again);
+    EXPECT_EQ(compiler.planCacheHits(), 2u);
+}
+
 TEST(CompilerDeathTest, EmptyBatchPanics)
 {
     MemShape mem;

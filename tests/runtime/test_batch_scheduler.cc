@@ -104,7 +104,7 @@ TEST_F(BatchSchedulerTest, CompleteIterationGrowsKvAndRetires)
     auto it = sched.scheduleIteration();
     ASSERT_EQ(it.batchSize(), 2);
     RequestId retiring = it.batch[0]->id;
-    int retired = sched.completeIteration();
+    int retired = sched.completeIteration(it);
     EXPECT_EQ(retired, 1);
     // Retired request released its pages.
     EXPECT_EQ(kv.channelOf(retiring), kInvalidId);
@@ -180,8 +180,8 @@ TEST_F(BatchSchedulerTest, StreamingServesEverythingEventually)
         pool.submit(5 + i % 17, 1 + i % 7);
     int iterations = 0;
     while (pool.completedCount() < 40 && iterations < 500) {
-        sched.scheduleIteration();
-        sched.completeIteration();
+        auto schedule = sched.scheduleIteration();
+        sched.completeIteration(schedule);
         ++iterations;
     }
     EXPECT_EQ(pool.completedCount(), 40u);

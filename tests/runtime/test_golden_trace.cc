@@ -1,13 +1,20 @@
 /**
  * @file
  * Golden-trace regression tests of the serving stack: canonical
- * serving runs are serialized iteration by iteration (batch size,
- * admissions, retirements, Algorithm-1 channel loads, iteration
- * cycles, KV utilization) and diffed byte-for-byte against the files
- * under tests/golden, so any behavioral change to the scheduler, the
- * request pool, the traffic models, the compiler or the analytic
- * iteration model is caught — intended changes regenerate with
- * NEUPIMS_UPDATE_GOLDEN=1.
+ * serving runs are serialized iteration by iteration (decode batch,
+ * prefill slices/tokens, admissions, retirements, Algorithm-1 channel
+ * loads, iteration cycles, KV utilization) and diffed byte-for-byte
+ * against the files under tests/golden, so any behavioral change to
+ * the scheduler, the request pool, the traffic models, the compiler
+ * or the analytic iteration model is caught — intended changes
+ * regenerate with NEUPIMS_UPDATE_GOLDEN=1.
+ *
+ * The legacy-compat case runs the refactored engine with
+ * PrefillPolicy::Legacy and serializes in the pre-phase-model column
+ * format against a golden pinned *before* the phase-aware refactor:
+ * it proves admit-means-decode behavior survived the rewrite
+ * bit-for-bit. Do not regenerate it casually — it is the semantic
+ * anchor of the legacy mode.
  *
  * Portability note: the traces embed doubles produced through libm
  * transcendentals (lognormal workload sampling, Poisson/Gamma gaps),
@@ -39,33 +46,99 @@ struct GoldenServingCase
     int requests;
 };
 
-std::string
-serializeServingRun(const GoldenServingCase &c)
+runtime::ServingEngine
+makeEngine(const GoldenServingCase &c,
+           std::unique_ptr<runtime::TrafficModel> &traffic,
+           std::unique_ptr<runtime::IterationLatencyModel> &latency,
+           runtime::PrefillPolicy policy)
 {
     auto llm = model::gpt3_13b();
     const auto &backend = core::servingBackendByName(c.backend);
     auto ds = std::string(c.dataset) == "Alpaca"
                   ? runtime::alpacaDataset()
                   : runtime::shareGptDataset();
-    auto traffic =
+    traffic =
         runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
-    auto latency = core::makeIterationModel(backend.device, llm);
+    latency = core::makeIterationModel(backend.device, llm);
     auto cfg = core::servingConfigFor(backend.device, llm);
+    cfg.scheduler.prefill.policy = policy;
     // Bound the trace length: the goldens pin the first 400
     // iterations plus the summary counters at that point.
     cfg.maxIterations = 400;
-    runtime::ServingEngine engine(cfg, *traffic, *latency);
-    auto report = engine.run();
+    return runtime::ServingEngine(cfg, *traffic, *latency);
+}
 
-    std::string out;
-    char line[256];
+std::string
+caseHeader(const GoldenServingCase &c)
+{
+    char line[160];
     std::snprintf(line, sizeof(line),
                   "# golden serving trace: %s %s %s rate=%g "
-                  "requests=%d seed=7\n"
-                  "# iter,start,cycles,batch,admitted,retired,"
-                  "waiting,maxload,kvutil\n",
+                  "requests=%d seed=7\n",
                   c.backend, c.traffic, c.dataset, c.rate, c.requests);
-    out += line;
+    return line;
+}
+
+std::string
+summaryLine(const runtime::ServingReport &report)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "# summary completed=%d dropped=%d iterations=%d "
+                  "makespan=%llu tokens=%llu\n",
+                  report.requestsCompleted, report.requestsDropped,
+                  report.iterations,
+                  static_cast<unsigned long long>(
+                      report.makespanCycles),
+                  static_cast<unsigned long long>(
+                      report.generatedTokens));
+    return line;
+}
+
+/** Phase-model serialization: decode batch + prefill columns. */
+std::string
+serializeServingRun(const GoldenServingCase &c)
+{
+    std::unique_ptr<runtime::TrafficModel> traffic;
+    std::unique_ptr<runtime::IterationLatencyModel> latency;
+    auto engine = makeEngine(c, traffic, latency,
+                             runtime::PrefillPolicy::Chunked);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# iter,start,cycles,batch,prefilling,prefilltok,"
+           "admitted,retired,waiting,maxload,kvutil\n";
+    char line[256];
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.prefilling, row.prefillTokens,
+            row.admitted, row.retired, row.waiting,
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    out += summaryLine(report);
+    return out;
+}
+
+/** Pre-phase-model serialization (legacy-compat anchor). */
+std::string
+serializeLegacyRun(const GoldenServingCase &c)
+{
+    std::unique_ptr<runtime::TrafficModel> traffic;
+    std::unique_ptr<runtime::IterationLatencyModel> latency;
+    auto engine = makeEngine(c, traffic, latency,
+                             runtime::PrefillPolicy::Legacy);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# iter,start,cycles,batch,admitted,retired,"
+           "waiting,maxload,kvutil\n";
+    char line[256];
     for (const auto &row : engine.trace()) {
         std::snprintf(
             line, sizeof(line), "%d,%llu,%llu,%d,%d,%d,%d,%.6g,%.6f\n",
@@ -76,16 +149,7 @@ serializeServingRun(const GoldenServingCase &c)
             row.maxChannelLoad, row.kvUtilization);
         out += line;
     }
-    std::snprintf(line, sizeof(line),
-                  "# summary completed=%d dropped=%d iterations=%d "
-                  "makespan=%llu tokens=%llu\n",
-                  report.requestsCompleted, report.requestsDropped,
-                  report.iterations,
-                  static_cast<unsigned long long>(
-                      report.makespanCycles),
-                  static_cast<unsigned long long>(
-                      report.generatedTokens));
-    out += line;
+    out += summaryLine(report);
     return out;
 }
 
@@ -120,6 +184,20 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return name;
     });
+
+/**
+ * Legacy-mode differential anchor: with PrefillPolicy::Legacy the
+ * refactored engine must reproduce the pre-refactor engine's trace
+ * byte-for-byte (the golden file was pinned before the phase-aware
+ * rewrite and is serialized in the old column format).
+ */
+TEST(GoldenServingTrace, LegacyModeMatchesPreRefactorEngine)
+{
+    GoldenServingCase c{
+        "serving_legacy_neupims_sbi_poisson_sharegpt.txt",
+        "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0, 64};
+    testing::compareOrUpdateGolden(c.file, serializeLegacyRun(c));
+}
 
 /**
  * Same engine, same seed, run twice: the serving stack must be fully

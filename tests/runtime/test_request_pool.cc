@@ -11,18 +11,60 @@
 namespace neupims::runtime {
 namespace {
 
-TEST(Request, LifecycleAdvances)
+TEST(Request, LifecycleAdvancesThroughPhases)
 {
     Request r;
     r.inputLength = 10;
     r.outputLength = 2;
     EXPECT_EQ(r.currentSeqLen(), 10);
+
+    // Prefill phase: the prompt is processed in chunks before any
+    // token can be generated.
+    r.beginPrefill();
+    EXPECT_TRUE(r.prefilling());
+    EXPECT_EQ(r.remainingPrefill(), 10);
+    r.advancePrefill(6);
+    EXPECT_TRUE(r.prefilling());
+    EXPECT_EQ(r.remainingPrefill(), 4);
+    r.advancePrefill(4);
+    EXPECT_TRUE(r.decoding());
+
     r.advance();
     EXPECT_EQ(r.currentSeqLen(), 11);
     EXPECT_FALSE(r.finished());
     r.advance();
     EXPECT_TRUE(r.finished());
     EXPECT_EQ(r.status, RequestStatus::Done);
+}
+
+TEST(Request, SkipPrefillIsLegacyAdmitMeansDecode)
+{
+    Request r;
+    r.inputLength = 10;
+    r.outputLength = 1;
+    r.skipPrefill();
+    EXPECT_TRUE(r.decoding());
+    EXPECT_EQ(r.remainingPrefill(), 0);
+    r.advance();
+    EXPECT_TRUE(r.finished());
+}
+
+TEST(RequestDeathTest, DecodeBeforePrefillCompletesPanics)
+{
+    Request r;
+    r.inputLength = 10;
+    r.outputLength = 1;
+    r.beginPrefill();
+    r.advancePrefill(3);
+    EXPECT_DEATH(r.advance(), "before prefill");
+}
+
+TEST(RequestDeathTest, PrefillOverrunPanics)
+{
+    Request r;
+    r.inputLength = 4;
+    r.beginPrefill();
+    EXPECT_DEATH(r.advancePrefill(5), "overrun");
 }
 
 TEST(RequestPool, SubmitQueuesWaiting)

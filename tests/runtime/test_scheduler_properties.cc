@@ -141,7 +141,7 @@ TEST(SchedulerProperties, InvariantsHoldUnderRandomWorkloads)
                          before;
             auto schedule = sched.scheduleIteration();
             checkInvariants(t, pool, kv, schedule, submitted);
-            sched.completeIteration();
+            sched.completeIteration(schedule);
         }
 
         // Drain: no further arrivals; everything must retire and
@@ -149,8 +149,8 @@ TEST(SchedulerProperties, InvariantsHoldUnderRandomWorkloads)
         int guard = 0;
         while ((pool.waitingCount() > 0 || pool.runningCount() > 0) &&
                guard++ < 10000) {
-            sched.scheduleIteration();
-            sched.completeIteration();
+            auto schedule = sched.scheduleIteration();
+            sched.completeIteration(schedule);
         }
         EXPECT_EQ(pool.completedCount(), submitted)
             << "seed " << seed << " failed to drain";
