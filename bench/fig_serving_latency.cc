@@ -23,6 +23,14 @@
  * the chunking/piggybacking trade-off (lower tail TTFT vs bounded TBT
  * inflation) is visible in BENCH_serving.json.
  *
+ * A third sweep compares memory-pressure policies on an over-capacity
+ * device (KV capacity shrunk 6x, lengths clamped so every request
+ * individually fits): PreemptConfig Off (legacy admission stall)
+ * against Recompute and Swap eviction across three offered loads,
+ * emitting p95 TTFT/TBT, preemption rate, swap traffic and drop
+ * counts under "preempt_sweep" — the cost of pressure as a priced
+ * event rather than a stall.
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
@@ -264,6 +272,87 @@ main()
             emitLatency(json, "ttft_first_decode_ms",
                         report.firstDecodeUs, 1e-3, true);
             emitLatency(json, "tbt_ms", report.tbtUs, 1e-3, true);
+            emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, false);
+            std::fprintf(json, "    }");
+            first = false;
+        }
+    }
+
+    std::fprintf(json, "\n  ],\n  \"preempt_sweep\": [\n");
+
+    // --- Memory-pressure policy sweep: off vs recompute vs swap ----
+    std::printf("\n=== Preemption policy sweep (NeuPIMs+SBI, poisson, "
+                "ShareGPT, KV/6, maxlen 320) ===\n\n");
+    std::printf("%-10s %5s | %8s %8s | %7s %7s | %7s %8s %5s %5s\n",
+                "preempt", "load", "ttft-p95", "tbt-p95", "preempt",
+                "per-req", "restore", "swap-MB", "drops", "done");
+
+    std::vector<double> preempt_loads = {1.0, 1.5, 2.0};
+    if (bench::fastMode())
+        preempt_loads = {1.5};
+    const std::vector<const char *> preempt_modes = {"off", "recompute",
+                                                     "swap"};
+    auto pds = bench::datasetByName("ShareGPT");
+    pds.maxLength = 320; // every request fits the shrunk channel
+    const double preempt_base_rate = 180.0;
+    first = true;
+    for (const char *mode : preempt_modes) {
+        for (double load : preempt_loads) {
+            double rate = preempt_base_rate * load;
+            auto traffic = runtime::makeTraffic("poisson", pds, rate,
+                                                requests, seed);
+            auto cfg = core::servingConfigFor(backend.device, llm);
+            core::scaleKvCapacity(cfg, 6);
+            core::applyPreemptConfig(cfg, mode, "lifo", 64.0);
+            runtime::ServingEngine engine(cfg, *traffic, *latency);
+            auto report = engine.run();
+
+            double preempt_rate =
+                report.requestsCompleted > 0
+                    ? static_cast<double>(report.preemptions) /
+                          static_cast<double>(report.requestsCompleted)
+                    : 0.0;
+            double swap_mb =
+                static_cast<double>(report.swapOutBytes +
+                                    report.swapInBytes) /
+                1e6;
+            std::printf(
+                "%-10s %4.1fx | %8.1f %8.2f | %7llu %7.2f | %7.1f "
+                "%8.1f %5d %5d\n",
+                mode, load, report.ttftUs.p95() / 1e3,
+                report.tbtUs.p95() / 1e3,
+                static_cast<unsigned long long>(report.preemptions),
+                preempt_rate, report.restoreUs.p95() / 1e3, swap_mb,
+                report.requestsDropped, report.requestsCompleted);
+
+            std::fprintf(
+                json,
+                "%s    {\n      \"preempt\": \"%s\", \"victim\": "
+                "\"lifo\", \"load\": %.2f, \"rate_rps\": %.2f,\n"
+                "      \"completed\": %d, \"dropped\": %d, "
+                "\"preemptions\": %llu, \"restores\": %llu,\n"
+                "      \"requests_preempted\": %d, "
+                "\"preempt_rate\": %.4f,\n"
+                "      \"pages_evicted\": %llu, "
+                "\"swap_out_mb\": %.2f, \"swap_in_mb\": %.2f,\n"
+                "      \"preempted_total_ms\": %.3f,\n"
+                "      \"tokens_per_s\": %.1f, \"mean_batch\": %.2f,\n",
+                first ? "" : ",\n", mode, load, rate,
+                report.requestsCompleted, report.requestsDropped,
+                static_cast<unsigned long long>(report.preemptions),
+                static_cast<unsigned long long>(report.restores),
+                report.requestsPreempted, preempt_rate,
+                static_cast<unsigned long long>(report.kvPagesEvicted),
+                static_cast<double>(report.swapOutBytes) / 1e6,
+                static_cast<double>(report.swapInBytes) / 1e6,
+                report.preemptedUs.sum() * 1e-3,
+                report.tokensPerSecond(), report.meanBatchSize);
+            emitLatency(json, "ttft_ms", report.ttftUs, 1e-3, true);
+            emitLatency(json, "tbt_ms", report.tbtUs, 1e-3, true);
+            emitLatency(json, "restore_ms", report.restoreUs, 1e-3,
+                        true);
+            emitLatency(json, "preempted_span_ms", report.preemptedUs,
+                        1e-3, true);
             emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, false);
             std::fprintf(json, "    }");
             first = false;

@@ -18,6 +18,9 @@
  *                 [--calibrate] [--dump-trace]
  *                 [--prefill legacy|whole|chunked] [--chunk N]
  *                 [--no-piggyback]
+ *                 [--preempt off|recompute|swap]
+ *                 [--victim lifo|fewest|longest] [--swap-gbps F]
+ *                 [--kv-scale N]
  *
  * --trace replays an external CSV (arrival_us,input,output rows) in
  * place of the synthetic fixed-rate replay trace. --measured swaps
@@ -28,6 +31,13 @@
  * chunked with a --chunk token budget, piggybacked onto decode
  * iterations unless --no-piggyback); the report's TTFT splits into
  * queueing + prefill + first-decode accordingly.
+ *
+ * --preempt selects the memory-pressure policy: off stalls admission
+ * while the KV cache is full (legacy), recompute frees victims' pages
+ * and re-runs their sequences through chunked prefill, swap parks
+ * pages in a host tier over a --swap-gbps link. --victim picks the
+ * eviction order; --kv-scale shrinks device KV capacity by an integer
+ * factor to drive over-capacity scenarios without changing traffic.
  */
 
 #include <cstdio>
@@ -58,6 +68,11 @@ struct Options
     std::string prefill = "chunked";
     int chunkTokens = 256;
     bool piggyback = true;
+    std::string preempt = "off";
+    std::string victim = "lifo";
+    double swapGbps = 64.0;
+    int kvScale = 1;
+    int maxLen = 0; ///< 0 = dataset default
     bool measured = false;
     bool calibrate = false;
     bool dumpTrace = false;
@@ -120,7 +135,10 @@ usage(const char *argv0)
         "          [--trace FILE.csv] [--measured] [--calibrate] "
         "[--dump-trace]\n"
         "          [--prefill legacy|whole|chunked] [--chunk N] "
-        "[--no-piggyback]\n",
+        "[--no-piggyback]\n"
+        "          [--preempt off|recompute|swap] [--victim "
+        "lifo|fewest|longest]\n"
+        "          [--swap-gbps F] [--kv-scale N]\n",
         argv0);
 }
 
@@ -161,6 +179,16 @@ main(int argc, char **argv)
             opt.chunkTokens = std::atoi(value());
         else if (arg == "--no-piggyback")
             opt.piggyback = false;
+        else if (arg == "--preempt")
+            opt.preempt = value();
+        else if (arg == "--victim")
+            opt.victim = value();
+        else if (arg == "--swap-gbps")
+            opt.swapGbps = std::atof(value());
+        else if (arg == "--kv-scale")
+            opt.kvScale = std::atoi(value());
+        else if (arg == "--max-len")
+            opt.maxLen = std::atoi(value());
         else if (arg == "--measured")
             opt.measured = true;
         else if (arg == "--calibrate")
@@ -195,22 +223,30 @@ main(int argc, char **argv)
     if (datasets.empty())
         fatal("unknown dataset '", opt.dataset,
               "' (expected ShareGPT|Alpaca|all)");
+    if (opt.maxLen > 0) {
+        for (auto &ds : datasets)
+            ds.maxLength = opt.maxLen;
+    }
 
     runtime::PrefillPolicy policy = prefillPolicyByName(opt.prefill);
     std::printf("NeuPIMs closed-loop serving: %s, %d requests, "
                 "seed %llu, %s iteration model, %s prefill"
-                " (chunk %d%s)\n\n",
+                " (chunk %d%s), %s preemption (victim %s, "
+                "%.0f GB/s%s)\n\n",
                 llm.name.c_str(), opt.requests,
                 static_cast<unsigned long long>(opt.seed),
                 opt.measured ? "measured" : "analytic",
                 opt.prefill.c_str(), opt.chunkTokens,
-                opt.piggyback ? ", piggyback" : "");
+                opt.piggyback ? ", piggyback" : "",
+                opt.preempt.c_str(), opt.victim.c_str(), opt.swapGbps,
+                opt.kvScale > 1 ? ", shrunk KV" : "");
     std::printf("%-12s %-8s %-9s %5s %9s %9s %6s | %8s %8s %8s | "
-                "%8s %8s %8s | %8s %8s | %6s  %s\n",
+                "%8s %8s %8s | %8s %8s | %6s | %4s %4s %7s | %s\n",
                 "backend", "traffic", "dataset", "done", "span(ms)",
                 "tok/s", "batch", "ttft-p50", "ttft-p95", "ttft-p99",
                 "queue-50", "prefil-50", "1dec-50", "e2e-p50",
-                "e2e-p99", "tbt-ms", "checksum");
+                "e2e-p99", "tbt-ms", "pree", "drop", "swap-MB",
+                "checksum");
 
     for (const auto &backend : backends) {
         auto latency = core::makeIterationModel(backend.device, llm,
@@ -239,6 +275,10 @@ main(int argc, char **argv)
                 cfg.scheduler.prefill.policy = policy;
                 cfg.scheduler.prefill.chunkTokens = opt.chunkTokens;
                 cfg.scheduler.prefill.piggyback = opt.piggyback;
+                core::applyPreemptConfig(cfg, opt.preempt, opt.victim,
+                                         opt.swapGbps);
+                if (opt.kvScale > 1)
+                    core::scaleKvCapacity(cfg, opt.kvScale);
                 runtime::ServingEngine engine(cfg, *traffic, *latency);
                 auto report = engine.run();
                 report.backend = backend.name;
@@ -247,7 +287,7 @@ main(int argc, char **argv)
                 std::printf(
                     "%-12s %-8s %-9s %5d %9.1f %9.0f %6.1f | %8.1f "
                     "%8.1f %8.1f | %8.1f %8.1f %8.1f | %8.0f %8.0f | "
-                    "%6.2f  %016llx\n",
+                    "%6.2f | %4llu %4d %7.1f | %016llx\n",
                     backend.name.c_str(), report.traffic.c_str(),
                     ds.name.c_str(), report.requestsCompleted,
                     cyclesToMicros(report.makespanCycles) / 1e3,
@@ -261,6 +301,12 @@ main(int argc, char **argv)
                     report.e2eUs.p50() / 1e3,
                     report.e2eUs.p99() / 1e3,
                     report.tbtUs.mean() / 1e3,
+                    static_cast<unsigned long long>(
+                        report.preemptions),
+                    report.requestsDropped,
+                    static_cast<double>(report.swapOutBytes +
+                                        report.swapInBytes) /
+                        1e6,
                     static_cast<unsigned long long>(finishChecksum(
                         engine, report.requestsSubmitted)));
 
@@ -268,7 +314,9 @@ main(int argc, char **argv)
                     for (const auto &row : engine.trace()) {
                         std::printf("    iter %4d @%12llu +%9llu "
                                     "batch %3d pf %2d/%4dt admit %2d "
-                                    "retire %2d wait %3d kv %4.1f%%\n",
+                                    "retire %2d wait %3d kv %4.1f%% "
+                                    "pre %2d res %2d park %2d "
+                                    "swap %5.1fMB\n",
                                     row.iteration,
                                     static_cast<unsigned long long>(
                                         row.startCycle),
@@ -277,7 +325,13 @@ main(int argc, char **argv)
                                     row.batch, row.prefilling,
                                     row.prefillTokens, row.admitted,
                                     row.retired, row.waiting,
-                                    row.kvUtilization * 100.0);
+                                    row.kvUtilization * 100.0,
+                                    row.preempted, row.restored,
+                                    row.preemptedPool,
+                                    static_cast<double>(
+                                        row.swapOutBytes +
+                                        row.swapInBytes) /
+                                        1e6);
                     }
                 }
             }

@@ -52,6 +52,16 @@ constexpr double kStridedStreamEff = 0.93;
  */
 constexpr double kPrefillHideFraction = 0.5;
 
+/**
+ * Fraction of the decode PIM-MHA span creditable against KV swap
+ * traffic on pipelined devices. Swap transfers ride the host link, so
+ * only their on-device page reads/writes contend with the data bus;
+ * they can hide under the same NPU-idle window the prefill piggyback
+ * uses, but the two credits share it — swap takes the half the
+ * prefill credit leaves behind (0.5 x 0.5).
+ */
+constexpr double kSwapHideFraction = 0.25;
+
 /** Extract the channel grouping used as the memo/analysis key. */
 std::vector<std::vector<int>>
 compositionKey(const BatchComposition &comp)
@@ -89,6 +99,8 @@ mixedCompositionOf(const runtime::IterationSchedule &schedule)
         mix.prefill.push_back(model::PrefillSliceSpec{
             slice.req->channel, slice.startToken, slice.tokens});
     }
+    mix.swapBytes = schedule.swapOutBytes + schedule.swapInBytes;
+    mix.swapBytesPerCycle = schedule.swapBytesPerCycle;
     return mix;
 }
 
@@ -388,17 +400,43 @@ AnalyticIterationModel::iterationCyclesFor(const BatchComposition &comp)
 }
 
 Cycle
+AnalyticIterationModel::swapOverheadCycles(const MixedComposition &mix)
+{
+    if (!mix.hasSwap())
+        return 0;
+    double transfer = static_cast<double>(mix.swapBytes) /
+                      mix.swapBytesPerCycle;
+    if (cfg_.flags.pipelinedMha && mix.hasDecode()) {
+        // The PIM decode-MHA spans across all layers form the
+        // NPU-idle window; swap claims the share the prefill
+        // piggyback credit leaves (kSwapHideFraction), on the same
+        // calibrated clock as the per-layer pricing.
+        double mha = mhaCycles(compiler_.compileLayer(mix.decode.full)) *
+                     static_cast<double>(layersPerDevice_) * scale_;
+        transfer -= std::min(transfer, kSwapHideFraction * mha);
+    }
+    return static_cast<Cycle>(transfer);
+}
+
+Cycle
 AnalyticIterationModel::iterationCyclesFor(const MixedComposition &mix)
 {
     return perLayerCyclesFor(mix) *
-           static_cast<Cycle>(layersPerDevice_);
+               static_cast<Cycle>(layersPerDevice_) +
+           swapOverheadCycles(mix);
 }
 
 Cycle
 AnalyticIterationModel::iterationCycles(
     const runtime::IterationSchedule &schedule)
 {
-    return iterationCyclesFor(mixedCompositionOf(schedule));
+    MixedComposition mix = mixedCompositionOf(schedule);
+    if (!mix.hasDecode() && !mix.hasPrefill()) {
+        // Restore-only iteration (swap-in with no compute scheduled):
+        // the host-link transfer is the whole span.
+        return std::max<Cycle>(1, swapOverheadCycles(mix));
+    }
+    return iterationCyclesFor(mix);
 }
 
 double
@@ -491,32 +529,43 @@ MeasuredIterationModel::iterationCyclesFor(const BatchComposition &comp)
 Cycle
 MeasuredIterationModel::iterationCyclesFor(const MixedComposition &mix)
 {
-    if (!mix.hasPrefill())
-        return iterationCyclesFor(mix.decode);
-    Cycle analytic_mixed = analytic_.iterationCyclesFor(mix);
-    if (!mix.hasDecode()) {
+    // Swap traffic is host-link transfer time — already on the
+    // physical clock, so it adds outside the measured/analytic
+    // rescaling below (it must not be stretched by the decode ratio).
+    Cycle swap = analytic_.swapOverheadCycles(mix);
+    MixedComposition work = mix;
+    work.swapBytes = 0;
+    if (!work.hasPrefill())
+        return iterationCyclesFor(work.decode) + swap;
+    Cycle analytic_mixed = analytic_.iterationCyclesFor(work);
+    if (!work.hasDecode()) {
         // No decode work for the event engine to measure: rescale
         // the analytic value onto the measured clock with the most
         // recent decode anchor so prefill-only spans are not on a
         // different time scale than the surrounding iterations.
         double scaled = static_cast<double>(analytic_mixed) *
                         measuredOverAnalytic_;
-        return static_cast<Cycle>(std::max(1.0, scaled));
+        return static_cast<Cycle>(std::max(1.0, scaled)) + swap;
     }
-    Cycle measured = iterationCyclesFor(mix.decode);
-    Cycle analytic_decode = analytic_.iterationCyclesFor(mix.decode);
+    Cycle measured = iterationCyclesFor(work.decode);
+    Cycle analytic_decode = analytic_.iterationCyclesFor(work.decode);
     NEUPIMS_ASSERT(analytic_decode > 0);
     double scaled = static_cast<double>(measured) *
                     (static_cast<double>(analytic_mixed) /
                      static_cast<double>(analytic_decode));
-    return static_cast<Cycle>(std::max(1.0, scaled));
+    return static_cast<Cycle>(std::max(1.0, scaled)) + swap;
 }
 
 Cycle
 MeasuredIterationModel::iterationCycles(
     const runtime::IterationSchedule &schedule)
 {
-    return iterationCyclesFor(mixedCompositionOf(schedule));
+    MixedComposition mix = mixedCompositionOf(schedule);
+    if (!mix.hasDecode() && !mix.hasPrefill()) {
+        return std::max<Cycle>(
+            1, analytic_.swapOverheadCycles(mix));
+    }
+    return iterationCyclesFor(mix);
 }
 
 } // namespace neupims::core

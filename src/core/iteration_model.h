@@ -44,14 +44,24 @@
 
 namespace neupims::core {
 
-/** One iteration's full work: decode composition + prefill slices. */
+/** One iteration's full work: decode composition + prefill slices +
+ * KV swap traffic over the host link (preemption Swap mode). */
 struct MixedComposition
 {
     BatchComposition decode;
     std::vector<model::PrefillSliceSpec> prefill;
+    /** Host-link KV traffic priced into this iteration (swap-out of
+     * victims + swap-in of restored sequences). */
+    Bytes swapBytes = 0;
+    /** Host link rate; 0 disables swap pricing. */
+    double swapBytesPerCycle = 0.0;
 
     bool hasDecode() const { return decode.batchSize() > 0; }
     bool hasPrefill() const { return !prefill.empty(); }
+    bool hasSwap() const
+    {
+        return swapBytes > 0 && swapBytesPerCycle > 0.0;
+    }
 };
 
 class AnalyticIterationModel : public runtime::IterationLatencyModel
@@ -77,6 +87,16 @@ class AnalyticIterationModel : public runtime::IterationLatencyModel
 
     /** Steady-state per-layer cycles for a mixed iteration. */
     Cycle perLayerCyclesFor(const MixedComposition &mix);
+
+    /**
+     * Visible cycles of @p mix's KV swap traffic: transfer time over
+     * the host link, minus the share hidden under the PIM decode-MHA
+     * spans on pipelined devices (the same idle-NPU window the prefill
+     * piggyback credit draws on, so swap only claims the half the
+     * prefill credit leaves behind). Serial and non-pipelined devices
+     * expose the full transfer.
+     */
+    Cycle swapOverheadCycles(const MixedComposition &mix);
 
     /**
      * Scale so one DeviceExecutor measurement of a uniform

@@ -54,6 +54,24 @@ servingConfigFor(const DeviceConfig &dev, const model::LlmConfig &llm,
     return cfg;
 }
 
+void
+applyPreemptConfig(runtime::ServingConfig &cfg,
+                   const std::string &mode, const std::string &victim,
+                   double swap_gbps)
+{
+    cfg.scheduler.preempt.mode = runtime::preemptModeByName(mode);
+    cfg.scheduler.preempt.victim =
+        runtime::victimPolicyByName(victim);
+    cfg.scheduler.preempt.swapGBps = swap_gbps;
+}
+
+void
+scaleKvCapacity(runtime::ServingConfig &cfg, int denominator)
+{
+    NEUPIMS_ASSERT(denominator >= 1);
+    cfg.kv.bytesPerChannel /= static_cast<Bytes>(denominator);
+}
+
 std::unique_ptr<runtime::IterationLatencyModel>
 makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
                    bool measured, int quantize_seq)

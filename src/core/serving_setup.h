@@ -58,6 +58,24 @@ std::unique_ptr<runtime::IterationLatencyModel>
 makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
                    bool measured = false, int quantize_seq = 64);
 
+/**
+ * Apply a memory-pressure policy to a serving config (drivers, benches
+ * and the over-capacity goldens share this wiring): preemption mode,
+ * victim selection and host swap link rate. "off" restores the legacy
+ * admission-stall behavior bit-for-bit.
+ */
+void applyPreemptConfig(runtime::ServingConfig &cfg,
+                        const std::string &mode,
+                        const std::string &victim = "lifo",
+                        double swap_gbps = 64.0);
+
+/**
+ * Shrink the device KV capacity by an integer factor — the standard
+ * way the preemption sweeps and goldens create over-capacity load
+ * without changing the traffic or the model.
+ */
+void scaleKvCapacity(runtime::ServingConfig &cfg, int denominator);
+
 } // namespace neupims::core
 
 #endif // NEUPIMS_CORE_SERVING_SETUP_H_

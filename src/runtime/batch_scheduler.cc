@@ -37,6 +37,46 @@ IterationSchedule::seqLensOfSubBatch2() const
     return seqLensOf(subBatches.sb2);
 }
 
+PreemptMode
+preemptModeByName(const std::string &name)
+{
+    if (name == "off")
+        return PreemptMode::Off;
+    if (name == "recompute")
+        return PreemptMode::Recompute;
+    if (name == "swap")
+        return PreemptMode::Swap;
+    fatal("unknown preemption mode '", name,
+          "' (expected off|recompute|swap)");
+}
+
+VictimPolicy
+victimPolicyByName(const std::string &name)
+{
+    if (name == "lifo")
+        return VictimPolicy::LifoYoungest;
+    if (name == "fewest")
+        return VictimPolicy::FewestPages;
+    if (name == "longest")
+        return VictimPolicy::LongestRemaining;
+    fatal("unknown victim policy '", name,
+          "' (expected lifo|fewest|longest)");
+}
+
+const char *
+preemptModeName(PreemptMode mode)
+{
+    switch (mode) {
+    case PreemptMode::Off:
+        return "off";
+    case PreemptMode::Recompute:
+        return "recompute";
+    case PreemptMode::Swap:
+        return "swap";
+    }
+    return "?";
+}
+
 BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,
                                RequestPool &pool, PagedKvCache &kv)
     : cfg_(cfg), pool_(pool), kv_(kv), estimator_(cfg.estimator)
@@ -45,13 +85,52 @@ BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,
     NEUPIMS_ASSERT(cfg_.prefill.policy != PrefillPolicy::Chunked ||
                        cfg_.prefill.chunkTokens >= 1,
                    "chunked prefill needs a positive token budget");
+    NEUPIMS_ASSERT(cfg_.preempt.mode != PreemptMode::Recompute ||
+                       cfg_.prefill.enabled(),
+                   "recompute preemption restores through the prefill "
+                   "path and needs a prefill policy");
+    NEUPIMS_ASSERT(!cfg_.preempt.enabled() ||
+                       !cfg_.prefill.enabled() ||
+                       cfg_.prefill.piggyback,
+                   "preemption requires piggybacked prefill: "
+                   "stall-the-world prefill-only iterations exclude "
+                   "decode page-holders from the schedule, so an old "
+                   "decode resident could never progress nor be "
+                   "evicted by a younger prefilling demander — "
+                   "deadlock");
+    NEUPIMS_ASSERT(cfg_.preempt.mode != PreemptMode::Swap ||
+                       cfg_.preempt.swapGBps > 0,
+                   "swap preemption needs a positive host link rate");
+}
+
+bool
+BatchScheduler::lazyKvAlloc() const
+{
+    // Chunk-by-chunk reservation makes mid-prefill preemption
+    // meaningful; it is tied to preemption so PreemptMode::Off keeps
+    // the legacy whole-prompt-at-admission accounting bit-for-bit.
+    return cfg_.preempt.enabled() && cfg_.prefill.enabled();
+}
+
+int
+BatchScheduler::admissionTokens(const Request &req) const
+{
+    if (!lazyKvAlloc())
+        return req.currentSeqLen();
+    // Admission only secures the first prefill chunk's pages; later
+    // chunks reserve as their slices land (or preempt a victim).
+    int remaining = req.remainingPrefill();
+    if (cfg_.prefill.policy == PrefillPolicy::Chunked)
+        remaining = std::min(remaining, cfg_.prefill.chunkTokens);
+    return std::max(1, remaining);
 }
 
 ChannelId
 BatchScheduler::pickChannel(const Request &req,
                             std::vector<double> &loads)
 {
-    int tokens = req.currentSeqLen();
+    int tokens = lazyKvAlloc() ? admissionTokens(req)
+                               : req.currentSeqLen();
     if (cfg_.minLoadPacking) {
         // Min-load channel among those with KV room.
         ChannelId best = kInvalidId;
@@ -74,16 +153,275 @@ BatchScheduler::pickChannel(const Request &req,
     return kInvalidId;
 }
 
+ChannelId
+BatchScheduler::pickChannelWithPages(
+    std::int64_t pages, const std::vector<double> &loads,
+    const std::vector<std::int64_t> &reserved)
+{
+    auto room = [&](ChannelId ch) {
+        return kv_.freePages(ch) - reserved[ch] >= pages;
+    };
+    if (cfg_.minLoadPacking) {
+        ChannelId best = kInvalidId;
+        for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
+            if (!room(ch))
+                continue;
+            if (best == kInvalidId || loads[ch] < loads[best])
+                best = ch;
+        }
+        return best;
+    }
+    for (int probe = 0; probe < cfg_.channels; ++probe) {
+        ChannelId ch = (rrCursor_ + probe) % cfg_.channels;
+        if (room(ch)) {
+            rrCursor_ = (ch + 1) % cfg_.channels;
+            return ch;
+        }
+    }
+    return kInvalidId;
+}
+
+void
+BatchScheduler::dropNeverFitting(IterationSchedule &out)
+{
+    // A sequence eventually holds prompt + output tokens on a single
+    // channel. A head that exceeds that bound can never complete —
+    // under preemption it would evict the whole channel and still not
+    // fit, a livelock; reject it instead of stalling admission.
+    while (pool_.waitingCount() > 0) {
+        const Request &head = pool_.request(pool_.waitingHead());
+        std::int64_t worst = kv_.pagesForTokens(head.inputLength +
+                                                head.outputLength);
+        if (worst <= kv_.config().pagesPerChannel())
+            break;
+        out.droppedNeverFit.push_back(pool_.dropWaitingHead());
+        ++preemptStats_.neverFitDrops;
+    }
+}
+
+void
+BatchScheduler::restorePreempted(IterationSchedule &out,
+                                 std::vector<double> &loads,
+                                 std::vector<std::int64_t> reserved)
+{
+    // Runs after resolveMemoryPressure, so restores only consume
+    // pages the scheduled work left over: a restored request joins
+    // the batch at the NEXT boundary (its transfer occupies this
+    // iteration) and cannot be churned right back out by this
+    // iteration's own demands.
+    const bool recompute = cfg_.preempt.mode == PreemptMode::Recompute;
+    while (pool_.preemptedCount() > 0 &&
+           pool_.runningCount() <
+               static_cast<std::size_t>(cfg_.maxBatch)) {
+        // Strict FIFO: the oldest eviction restores first; a blocked
+        // head blocks the queue (no overtaking, bounded starvation).
+        Request *req = pool_.preemptedRequests().front();
+        // Never bounce a victim of this very boundary straight back
+        // in (it would ride its own freed pages out and back, pure
+        // transfer churn); FIFO means everything behind it is just as
+        // fresh, so stop.
+        bool evicted_now = false;
+        for (const Request *p : out.preemptedNow)
+            evicted_now = evicted_now || p == req;
+        if (evicted_now)
+            break;
+        if (recompute) {
+            std::int64_t pages =
+                kv_.pagesForTokens(admissionTokens(*req));
+            ChannelId ch =
+                pickChannelWithPages(pages, loads, reserved);
+            if (ch == kInvalidId)
+                break;
+            req->channel = ch;
+            kv_.bindSequence(req->id, ch);
+            // bindSequence takes no pages yet — the first chunk
+            // reserves at the next boundary. Count it against later
+            // restores now, or every FIFO entry would see the same
+            // room and pile onto one channel.
+            reserved[ch] += pages;
+        } else {
+            std::int64_t pages = kv_.hostPagesOf(req->id);
+            ChannelId ch =
+                pickChannelWithPages(pages, loads, reserved);
+            if (ch == kInvalidId)
+                break;
+            Bytes bytes = kv_.swapIn(req->id, ch);
+            req->channel = ch;
+            out.swapInBytes += bytes;
+            preemptStats_.swapInBytes += bytes;
+        }
+        pool_.restore(req->id);
+        loads[req->channel] +=
+            estimator_.estimate(req->currentSeqLen());
+        out.restoredNow.push_back(req);
+        ++preemptStats_.restores;
+    }
+}
+
+std::vector<std::int64_t>
+BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
+                                      std::vector<double> &loads)
+{
+    std::vector<std::int64_t> reservedPerChannel(
+        static_cast<std::size_t>(cfg_.channels), 0);
+    const bool recompute = cfg_.preempt.mode == PreemptMode::Recompute;
+    const bool lazy = lazyKvAlloc();
+
+    // One page-demanding unit of this schedule: a decode append (one
+    // token) or a prefill slice (chunk growth). Resolved oldest-first
+    // (ascending RequestId == submission order): a demander may only
+    // evict strictly younger requests, so the oldest request in the
+    // system always makes progress and preemption cannot livelock —
+    // the same age-priority rule vLLM's scheduler uses. A demander
+    // that cannot be satisfied even after evicting every younger
+    // resident stalls for this iteration (its work is removed; it
+    // keeps its pages) instead of churning.
+    struct Demand
+    {
+        Request *req;
+        int tokens; ///< KV growth this iteration
+    };
+    std::vector<std::vector<Demand>> demands(
+        static_cast<std::size_t>(cfg_.channels));
+    for (Request *req : out.batch)
+        demands[req->channel].push_back(Demand{req, 1});
+    if (lazy) {
+        for (const PrefillSlice &slice : out.prefill)
+            demands[slice.req->channel].push_back(
+                Demand{slice.req, slice.tokens});
+    }
+
+    auto drop_work = [&](Request *req) {
+        out.batch.erase(
+            std::remove(out.batch.begin(), out.batch.end(), req),
+            out.batch.end());
+        out.prefill.erase(
+            std::remove_if(out.prefill.begin(), out.prefill.end(),
+                           [req](const PrefillSlice &slice) {
+                               return slice.req == req;
+                           }),
+            out.prefill.end());
+    };
+
+    auto pick_victim = [&](ChannelId ch,
+                           RequestId older_than) -> Request * {
+        // Candidates: strictly younger residents of the channel that
+        // hold pages (evicting a page-less request frees nothing;
+        // its own demands are resolved on its own turn).
+        std::vector<Request *> cands;
+        for (Request *req : pool_.runningRequests()) {
+            if (req->channel != ch || req->id <= older_than)
+                continue;
+            if (kv_.pagesOf(req->id) <= 0)
+                continue;
+            cands.push_back(req);
+        }
+        if (cands.empty())
+            return nullptr;
+        // cands is in running (admission) order: back() == youngest.
+        // Ties below resolve toward the youngest as well.
+        Request *victim = cands.back();
+        if (cfg_.preempt.victim == VictimPolicy::FewestPages) {
+            victim = cands.front();
+            for (Request *req : cands) {
+                if (kv_.pagesOf(req->id) <= kv_.pagesOf(victim->id))
+                    victim = req;
+            }
+        } else if (cfg_.preempt.victim ==
+                   VictimPolicy::LongestRemaining) {
+            auto remaining = [](const Request *req) {
+                return req->remainingPrefill() + req->outputLength -
+                       req->generatedTokens;
+            };
+            victim = cands.front();
+            for (Request *req : cands) {
+                if (remaining(req) >= remaining(victim))
+                    victim = req;
+            }
+        }
+        return victim;
+    };
+
+    auto preempt_victim = [&](Request *victim,
+                              std::vector<Demand> &channel_demands) {
+        drop_work(victim);
+        channel_demands.erase(
+            std::remove_if(channel_demands.begin(),
+                           channel_demands.end(),
+                           [victim](const Demand &d) {
+                               return d.req == victim;
+                           }),
+            channel_demands.end());
+        loads[victim->channel] -=
+            estimator_.estimate(victim->currentSeqLen());
+        if (recompute) {
+            preemptStats_.pagesFreed += static_cast<std::uint64_t>(
+                kv_.evictSequence(victim->id));
+        } else {
+            Bytes bytes = kv_.swapOut(victim->id);
+            out.swapOutBytes += bytes;
+            preemptStats_.swapOutBytes += bytes;
+        }
+        pool_.preempt(victim->id, recompute);
+        out.preemptedNow.push_back(victim);
+        ++preemptStats_.preemptions;
+    };
+
+    for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
+        auto &chd = demands[ch];
+        std::sort(chd.begin(), chd.end(),
+                  [](const Demand &a, const Demand &b) {
+                      return a.req->id < b.req->id;
+                  });
+        std::int64_t reserved = 0; // pages granted to older demanders
+        for (std::size_t i = 0; i < chd.size(); ++i) {
+            // Every entry reached here is live: preempt_victim erases
+            // a victim's entries, and victims sort strictly after the
+            // current demander, so erasures never touch positions
+            // already consumed (a stalled demander keeps its entry,
+            // but it was consumed on its own turn).
+            Request *req = chd[i].req;
+            std::int64_t need =
+                kv_.pagesForAppend(req->id, chd[i].tokens);
+            while (need > kv_.freePages(ch) - reserved) {
+                Request *victim = pick_victim(ch, req->id);
+                if (!victim) {
+                    drop_work(req); // stall: keep pages, skip a turn
+                    need = -1;
+                    break;
+                }
+                preempt_victim(victim, chd);
+            }
+            if (need >= 0)
+                reserved += need;
+        }
+        reservedPerChannel[ch] = reserved;
+    }
+    return reservedPerChannel;
+}
+
 void
 BatchScheduler::schedulePrefill(
     IterationSchedule &out, const std::vector<Request *> &running)
 {
-    // FIFO over the running set (admission order): earlier prompts
-    // finish their prefill first, bounding TTFT head-of-line effects.
+    // FIFO by submission age: earlier prompts finish their prefill
+    // first, bounding TTFT head-of-line effects. Without preemption
+    // the running set is already age-ordered, so this is exactly the
+    // admission order; with it, restores re-enter at the back of the
+    // running order and MUST NOT lose their budget priority — the
+    // pressure resolver only lets a request evict strictly younger
+    // victims, so handing the token budget to a younger request that
+    // cannot take pages from older residents would deadlock them
+    // against each other.
+    std::vector<Request *> by_age(running.begin(), running.end());
+    std::sort(by_age.begin(), by_age.end(),
+              [](const Request *a, const Request *b) {
+                  return a->id < b->id;
+              });
     int budget = cfg_.prefill.policy == PrefillPolicy::Chunked
                      ? cfg_.prefill.chunkTokens
                      : std::numeric_limits<int>::max();
-    for (Request *req : running) {
+    for (Request *req : by_age) {
         if (!req->prefilling())
             continue;
         if (budget <= 0)
@@ -100,6 +438,9 @@ IterationSchedule
 BatchScheduler::scheduleIteration()
 {
     IterationSchedule out;
+    const bool preempting = cfg_.preempt.enabled();
+    if (cfg_.preempt.mode == PreemptMode::Swap)
+        out.swapBytesPerCycle = cfg_.preempt.swapBytesPerCycle();
 
     // Current channel loads from the already-running batch. Requests
     // still in prefill count with their eventual prompt-length load:
@@ -114,9 +455,19 @@ BatchScheduler::scheduleIteration()
     }
 
     // Iteration-level admission: fill the batch while KV room lasts.
-    while (pool_.runningCount() < static_cast<std::size_t>(
+    // Unrestored evictees hold admission priority — fresh admissions
+    // would only churn straight back out under the same pressure.
+    while (pool_.preemptedCount() == 0 &&
+           pool_.runningCount() < static_cast<std::size_t>(
                                       cfg_.maxBatch) &&
            pool_.waitingCount() > 0) {
+        if (preempting) {
+            // Reject never-fitting heads as they surface, not just
+            // once per boundary — a fitting head may hide one.
+            dropNeverFitting(out);
+            if (pool_.waitingCount() == 0)
+                break;
+        }
         auto admitted = pool_.admit(1, cfg_.prefill.enabled());
         NEUPIMS_ASSERT(admitted.size() == 1);
         Request &req = pool_.request(admitted[0]);
@@ -128,8 +479,13 @@ BatchScheduler::scheduleIteration()
             break;
         }
         req.channel = ch;
-        bool ok = kv_.allocateSequence(req.id, ch, req.currentSeqLen());
-        NEUPIMS_ASSERT(ok, "KV allocation raced admission check");
+        if (lazyKvAlloc()) {
+            kv_.bindSequence(req.id, ch);
+        } else {
+            bool ok =
+                kv_.allocateSequence(req.id, ch, req.currentSeqLen());
+            NEUPIMS_ASSERT(ok, "KV allocation raced admission check");
+        }
         loads[ch] += estimator_.estimate(req.currentSeqLen());
         running.push_back(&req);
         ++out.admitted;
@@ -151,6 +507,11 @@ BatchScheduler::scheduleIteration()
         out.batch = std::move(running);
     }
 
+    if (preempting) {
+        auto reserved = resolveMemoryPressure(out, loads);
+        restorePreempted(out, loads, reserved);
+    }
+
     out.perChannel = groupByChannel(out.batch, cfg_.channels);
     out.subBatches = partitionSubBatches(out.perChannel);
     out.channelLoads = std::move(loads);
@@ -160,10 +521,24 @@ BatchScheduler::scheduleIteration()
 int
 BatchScheduler::completeIteration(const IterationSchedule &schedule)
 {
-    for (const PrefillSlice &slice : schedule.prefill)
+    const bool lazy = lazyKvAlloc();
+    for (const PrefillSlice &slice : schedule.prefill) {
         slice.req->advancePrefill(slice.tokens);
+        if (lazy) {
+            // Chunk-granular reservation; resolveMemoryPressure
+            // guaranteed the pages at the boundary.
+            bool ok = kv_.appendTokens(slice.req->id, slice.tokens);
+            NEUPIMS_ASSERT(ok, "prefill KV reservation raced the "
+                               "pressure check on request ",
+                           slice.req->id);
+        }
+    }
     for (Request *req : schedule.batch) {
         if (!kv_.appendToken(req->id)) {
+            NEUPIMS_ASSERT(!cfg_.preempt.enabled(),
+                           "decode KV append raced the pressure "
+                           "check on request ",
+                           req->id);
             warn("KV channel ", req->channel,
                  " out of pages; request ", req->id,
                  " token not cached (stall modeled as continue)");

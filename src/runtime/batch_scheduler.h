@@ -14,11 +14,24 @@
  * ride the NPU while the PIM side runs decode MHA) or as dedicated
  * prefill-only iterations — and partitions the active decode batch
  * into two sub-batches for interleaving.
+ *
+ * KV memory pressure is a first-class, priced event rather than a
+ * stall: with PreemptConfig enabled, an iteration that cannot reserve
+ * the pages its decode appends and prefill slices need preempts
+ * victim requests at the boundary (pluggable victim selection) —
+ * Recompute frees the victim's pages and re-runs its sequence through
+ * the chunked-prefill path; Swap parks the pages in a host tier over
+ * a modeled link whose transfer time the iteration models price.
+ * Preempted requests are restored, FIFO, before any new admission.
+ * PreemptConfig::Off preserves the legacy admission-stall behavior
+ * bit-for-bit.
  */
 
 #ifndef NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_
 #define NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "runtime/bin_packing.h"
@@ -59,6 +72,47 @@ struct PrefillConfig
     bool enabled() const { return policy != PrefillPolicy::Legacy; }
 };
 
+/** What happens when an iteration cannot reserve KV pages. */
+enum class PreemptMode : std::uint8_t
+{
+    /** Legacy behavior: admission stalls while the cache is full and
+     * decode appends that find no page are warned-and-continued. */
+    Off,
+    /** Free the victim's pages; on restore, re-run its prompt plus
+     * already-generated tokens through the chunked-prefill path
+     * (cursor reset, generated-token count preserved). */
+    Recompute,
+    /** Move the victim's pages to a host tier over the modeled swap
+     * link; on restore, transfer them back (cursor preserved). */
+    Swap,
+};
+
+/** How a victim is chosen among a channel's resident requests. */
+enum class VictimPolicy : std::uint8_t
+{
+    LifoYoungest,     ///< most recently (re)admitted first (vLLM-style)
+    FewestPages,      ///< cheapest to evict or transfer
+    LongestRemaining, ///< most prefill+decode work still ahead
+};
+
+struct PreemptConfig
+{
+    PreemptMode mode = PreemptMode::Off;
+    VictimPolicy victim = VictimPolicy::LifoYoungest;
+    /** Host link bandwidth for Swap transfers. At the 1 GHz clock
+     * domain (1 cycle == 1 ns), X GB/s is exactly X bytes/cycle. */
+    double swapGBps = 64.0;
+
+    bool enabled() const { return mode != PreemptMode::Off; }
+    double swapBytesPerCycle() const { return swapGBps; }
+};
+
+/** Parse "off|recompute|swap" / "lifo|fewest|longest"; fatal() on
+ * unknown names. */
+PreemptMode preemptModeByName(const std::string &name);
+VictimPolicy victimPolicyByName(const std::string &name);
+const char *preemptModeName(PreemptMode mode);
+
 struct SchedulerConfig
 {
     int channels = 32;
@@ -66,6 +120,7 @@ struct SchedulerConfig
     bool minLoadPacking = true; ///< Algorithm 2 vs round-robin
     MhaLatencyParams estimator;
     PrefillConfig prefill;
+    PreemptConfig preempt;
 };
 
 /** One request's prefill work within an iteration. */
@@ -87,6 +142,19 @@ struct IterationSchedule
     std::vector<PrefillSlice> prefill;
     std::vector<double> channelLoads; ///< Algorithm-1 estimates
     int admitted = 0;
+
+    // --- memory-pressure events decided at this boundary ------------
+    /** Victims evicted this iteration (engine stamps their spans). */
+    std::vector<Request *> preemptedNow;
+    /** Previously preempted requests restored into this iteration. */
+    std::vector<Request *> restoredNow;
+    /** Waiting-queue heads dropped because their sequence can never
+     * fit a channel's KV capacity (preemption enabled only). */
+    std::vector<RequestId> droppedNeverFit;
+    Bytes swapOutBytes = 0; ///< victim pages moved to the host tier
+    Bytes swapInBytes = 0;  ///< restored pages moved back on-device
+    /** Host-link rate for pricing swap traffic (0 = no swap tier). */
+    double swapBytesPerCycle = 0.0;
 
     int batchSize() const { return static_cast<int>(batch.size()); }
 
@@ -115,6 +183,17 @@ struct IterationSchedule
 std::vector<std::vector<int>>
 seqLensOf(const std::vector<std::vector<Request *>> &per_channel);
 
+/** Cumulative memory-pressure counters across a scheduler's life. */
+struct PreemptStats
+{
+    std::uint64_t preemptions = 0; ///< eviction events
+    std::uint64_t restores = 0;    ///< restore events
+    std::uint64_t pagesFreed = 0;  ///< device pages released by evicts
+    Bytes swapOutBytes = 0;
+    Bytes swapInBytes = 0;
+    std::uint64_t neverFitDrops = 0; ///< sequence exceeds a channel
+};
+
 class BatchScheduler
 {
   public:
@@ -135,19 +214,58 @@ class BatchScheduler
      */
     int completeIteration(const IterationSchedule &schedule);
 
+    const PreemptStats &preemptStats() const { return preemptStats_; }
+
   private:
     /** Pick a channel for @p req, honoring KV capacity; -1 if full. */
     ChannelId pickChannel(const Request &req,
                           std::vector<double> &loads);
 
+    /** Min-load (or round-robin) channel with >= @p pages free
+     * beyond this iteration's reservations. */
+    ChannelId
+    pickChannelWithPages(std::int64_t pages,
+                         const std::vector<double> &loads,
+                         const std::vector<std::int64_t> &reserved);
+
     /** Fill @p out.prefill from the prefilling members of @p running. */
     void schedulePrefill(IterationSchedule &out,
                          const std::vector<Request *> &running);
+
+    /** Whether KV pages are reserved chunk-by-chunk as prefill
+     * advances (preemption on) instead of whole-prompt at admission. */
+    bool lazyKvAlloc() const;
+
+    /** Tokens whose pages admission must secure up-front for @p req. */
+    int admissionTokens(const Request &req) const;
+
+    /**
+     * Restore preempted requests (FIFO) into pages this iteration's
+     * demands left over (@p reserved, updated as restores commit);
+     * restored requests join the batch at the next boundary.
+     */
+    void restorePreempted(IterationSchedule &out,
+                          std::vector<double> &loads,
+                          std::vector<std::int64_t> reserved);
+
+    /** Drop waiting-queue heads whose sequences can never fit. */
+    void dropNeverFitting(IterationSchedule &out);
+
+    /**
+     * Preempt victims until every channel can reserve the pages this
+     * iteration's decode appends and prefill slices demand.
+     * @return pages reserved per channel (consumed at
+     * completeIteration; restores must not take them).
+     */
+    std::vector<std::int64_t>
+    resolveMemoryPressure(IterationSchedule &out,
+                          std::vector<double> &loads);
 
     SchedulerConfig cfg_;
     RequestPool &pool_;
     PagedKvCache &kv_;
     MhaLatencyEstimator estimator_;
+    PreemptStats preemptStats_;
     int rrCursor_ = 0;
 };
 

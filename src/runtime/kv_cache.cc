@@ -47,12 +47,23 @@ PagedKvCache::allocateSequence(RequestId id, ChannelId channel,
     return true;
 }
 
+void
+PagedKvCache::bindSequence(RequestId id, ChannelId channel)
+{
+    NEUPIMS_ASSERT(sequences_.find(id) == sequences_.end(),
+                   "request already has a KV sequence: ", id);
+    NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
+    sequences_[id] = Sequence{channel, 0, 0, false};
+}
+
 bool
 PagedKvCache::appendToken(RequestId id)
 {
     auto it = sequences_.find(id);
     NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
     Sequence &seq = it->second;
+    NEUPIMS_ASSERT(!seq.swapped, "appending to swapped-out request ",
+                   id);
     std::int64_t need = pagesForTokens(seq.tokens + 1);
     if (need > seq.pages) {
         if (freePages_[seq.channel] == 0)
@@ -64,14 +75,113 @@ PagedKvCache::appendToken(RequestId id)
     return true;
 }
 
+bool
+PagedKvCache::appendTokens(RequestId id, int tokens)
+{
+    NEUPIMS_ASSERT(tokens >= 1);
+    auto it = sequences_.find(id);
+    NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
+    Sequence &seq = it->second;
+    NEUPIMS_ASSERT(!seq.swapped, "appending to swapped-out request ",
+                   id);
+    std::int64_t need = pagesForTokens(seq.tokens + tokens) - seq.pages;
+    if (need > freePages_[seq.channel])
+        return false;
+    freePages_[seq.channel] -= need;
+    seq.pages += need;
+    seq.tokens += tokens;
+    return true;
+}
+
+std::int64_t
+PagedKvCache::pagesForAppend(RequestId id, int tokens) const
+{
+    auto it = sequences_.find(id);
+    NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
+    const Sequence &seq = it->second;
+    return pagesForTokens(seq.tokens + tokens) - seq.pages;
+}
+
 void
 PagedKvCache::freeSequence(RequestId id)
 {
     auto it = sequences_.find(id);
     if (it == sequences_.end())
         return;
-    freePages_[it->second.channel] += it->second.pages;
+    if (it->second.swapped)
+        hostPages_ -= it->second.pages;
+    else
+        freePages_[it->second.channel] += it->second.pages;
     sequences_.erase(it);
+}
+
+std::int64_t
+PagedKvCache::evictSequence(RequestId id)
+{
+    auto it = sequences_.find(id);
+    NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
+    NEUPIMS_ASSERT(!it->second.swapped,
+                   "evicting swapped-out request ", id);
+    std::int64_t pages = it->second.pages;
+    freePages_[it->second.channel] += pages;
+    sequences_.erase(it);
+    return pages;
+}
+
+Bytes
+PagedKvCache::swapOut(RequestId id)
+{
+    auto it = sequences_.find(id);
+    NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
+    Sequence &seq = it->second;
+    NEUPIMS_ASSERT(!seq.swapped, "double swap-out of request ", id);
+    freePages_[seq.channel] += seq.pages;
+    hostPages_ += seq.pages;
+    seq.swapped = true;
+    seq.channel = kInvalidId;
+    return static_cast<Bytes>(seq.pages) * cfg_.pageBytes();
+}
+
+Bytes
+PagedKvCache::swapIn(RequestId id, ChannelId channel)
+{
+    auto it = sequences_.find(id);
+    NEUPIMS_ASSERT(it != sequences_.end(), "unknown request: ", id);
+    Sequence &seq = it->second;
+    NEUPIMS_ASSERT(seq.swapped, "swap-in of device-resident request ",
+                   id);
+    if (freePages(channel) < seq.pages)
+        return 0;
+    freePages_[channel] -= seq.pages;
+    hostPages_ -= seq.pages;
+    seq.swapped = false;
+    seq.channel = channel;
+    return static_cast<Bytes>(seq.pages) * cfg_.pageBytes();
+}
+
+bool
+PagedKvCache::isSwappedOut(RequestId id) const
+{
+    auto it = sequences_.find(id);
+    return it != sequences_.end() && it->second.swapped;
+}
+
+std::int64_t
+PagedKvCache::hostPagesOf(RequestId id) const
+{
+    auto it = sequences_.find(id);
+    if (it == sequences_.end() || !it->second.swapped)
+        return 0;
+    return it->second.pages;
+}
+
+std::int64_t
+PagedKvCache::pagesOf(RequestId id) const
+{
+    auto it = sequences_.find(id);
+    if (it == sequences_.end() || it->second.swapped)
+        return 0;
+    return it->second.pages;
 }
 
 std::int64_t

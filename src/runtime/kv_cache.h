@@ -9,6 +9,13 @@
  * cache grows one token at a time and allocates a fresh page only
  * when the tail page fills. Admission control asks the allocator
  * whether a new request's prompt fits before adding it to the batch.
+ *
+ * Memory pressure is first-class: sequences can be *evicted*
+ * (pages released for recompute-via-prefill) or *swapped* to an
+ * optional host tier over a modeled host link and later restored,
+ * page-granular in both directions. Reservation (bind/append) and
+ * release (free/evict/swap-out) keep exact per-channel page accounts;
+ * cumulative eviction/swap counters feed the serving report.
  */
 
 #ifndef NEUPIMS_RUNTIME_KV_CACHE_H_
@@ -71,14 +78,67 @@ class PagedKvCache
     bool allocateSequence(RequestId id, ChannelId channel, int tokens);
 
     /**
+     * Bind @p id to @p channel with zero resident tokens (the lazy
+     * chunk-by-chunk allocation path: pages are reserved as prefill
+     * slices append their tokens, not up-front at admission).
+     */
+    void bindSequence(RequestId id, ChannelId channel);
+
+    /**
      * Grow @p id by one token; allocates a new page when the tail
      * page is full. @return false if the channel is out of pages (the
      * scheduler must then evict or stall — we stall).
      */
     bool appendToken(RequestId id);
 
+    /**
+     * Grow @p id by @p tokens (a prefill chunk), reserving the pages
+     * the growth crosses. All-or-nothing: @return false with no side
+     * effects if the channel lacks the pages.
+     */
+    bool appendTokens(RequestId id, int tokens);
+
+    /** Pages growing @p id by @p tokens would newly reserve. */
+    std::int64_t pagesForAppend(RequestId id, int tokens) const;
+
     /** Release all pages of @p id. */
     void freeSequence(RequestId id);
+
+    /**
+     * Evict @p id for recompute: release its device pages and forget
+     * the sequence (its K/V will be rebuilt through prefill).
+     * @return pages released. @pre the sequence is device-resident.
+     */
+    std::int64_t evictSequence(RequestId id);
+
+    /**
+     * Move every device page of @p id to the host tier, freeing its
+     * channel pages but keeping the sequence's token count. @return
+     * bytes transferred over the host link.
+     * @pre the sequence is device-resident.
+     */
+    Bytes swapOut(RequestId id);
+
+    /**
+     * Restore a swapped-out sequence onto @p channel (page-granular
+     * re-reservation; the channel may differ from the original).
+     * @return bytes transferred, or 0 (no side effects) if @p channel
+     * lacks the pages. @pre isSwappedOut(id)
+     */
+    Bytes swapIn(RequestId id, ChannelId channel);
+
+    /** Whether @p id currently lives in the host tier. */
+    bool isSwappedOut(RequestId id) const;
+
+    /** Pages @p id parks in the host tier (0 if device-resident). */
+    std::int64_t hostPagesOf(RequestId id) const;
+
+    /** Pages currently parked in the host swap tier. */
+    std::int64_t hostPagesUsed() const { return hostPages_; }
+
+    /** Device pages currently reserved by @p id (0 if unknown or
+     * swapped out). */
+    std::int64_t pagesOf(RequestId id) const;
 
     /** Pages in use on @p channel. */
     std::int64_t usedPages(ChannelId channel) const;
@@ -98,11 +158,13 @@ class PagedKvCache
         ChannelId channel = kInvalidId;
         int tokens = 0;
         std::int64_t pages = 0;
+        bool swapped = false; ///< pages live in the host tier
     };
 
     KvCacheConfig cfg_;
     std::vector<std::int64_t> freePages_;
     std::unordered_map<RequestId, Sequence> sequences_;
+    std::int64_t hostPages_ = 0;
 };
 
 } // namespace neupims::runtime

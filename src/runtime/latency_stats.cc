@@ -26,6 +26,15 @@ LatencyStats::mean() const
 }
 
 double
+LatencyStats::sum() const
+{
+    double total = 0.0;
+    for (double v : samples_)
+        total += v;
+    return total;
+}
+
+double
 LatencyStats::maxValue() const
 {
     if (samples_.empty())

@@ -32,6 +32,8 @@ class LatencyStats
     std::size_t count() const { return samples_.size(); }
     double mean() const;
     double maxValue() const;
+    /** Sum of all samples (e.g. total cycles spent evicted). */
+    double sum() const;
 
     /**
      * Percentile @p p in [0, 100] by linear interpolation between

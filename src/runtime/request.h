@@ -29,6 +29,10 @@ enum class RequestStatus : std::uint8_t
     Running, ///< in the active batch, prefilling or generating
     Done,    ///< produced all output tokens
     Dropped, ///< rejected: can never fit the device's KV cache
+    /** Evicted from the batch under KV memory pressure; its pages were
+     * freed (recompute) or moved to the host tier (swap). Rejoins the
+     * running batch when the scheduler restores it. */
+    Preempted,
 };
 
 enum class RequestPhase : std::uint8_t
@@ -54,6 +58,16 @@ struct Request
     Cycle prefillEndCycle = kCycleMax; ///< prompt fully prefilled
     Cycle firstTokenCycle = kCycleMax; ///< first output token done
     Cycle finishCycle = kCycleMax;    ///< last output token done
+
+    // --- memory-pressure lifecycle ----------------------------------
+    int preemptions = 0; ///< times evicted under KV pressure
+    /** Prompt tokens the recompute path must re-prefill beyond the
+     * original prompt (the generated tokens whose K/V were discarded).
+     * 0 except between a Recompute preemption and the restore's
+     * prefill completion. */
+    int recomputeTokens = 0;
+    Cycle preemptStartCycle = kCycleMax; ///< current eviction began
+    Cycle preemptedCycles = 0; ///< total cycles spent evicted
 
     /** Time to first token; @pre firstTokenCycle is stamped. */
     Cycle
@@ -122,12 +136,24 @@ struct Request
 
     bool prefilling() const { return phase == RequestPhase::Prefill; }
     bool decoding() const { return phase == RequestPhase::Decode; }
+    bool preempted() const { return status == RequestStatus::Preempted; }
+
+    /**
+     * Tokens the prefill pass must cover before decode (re)starts: the
+     * prompt, plus — after a Recompute preemption — the generated
+     * tokens whose K/V entries were discarded and must be rebuilt.
+     */
+    int
+    prefillTargetTokens() const
+    {
+        return inputLength + recomputeTokens;
+    }
 
     /** Prompt tokens not yet prefilled. */
     int
     remainingPrefill() const
     {
-        return inputLength - prefilledTokens;
+        return prefillTargetTokens() - prefilledTokens;
     }
 
     /** Enter the prefill phase on admission. */
@@ -161,8 +187,44 @@ struct Request
         NEUPIMS_ASSERT(tokens >= 1 && tokens <= remainingPrefill(),
                        "prefill overrun on request ", id);
         prefilledTokens += tokens;
-        if (prefilledTokens >= inputLength)
+        if (prefilledTokens >= prefillTargetTokens()) {
             phase = RequestPhase::Decode;
+            recomputeTokens = 0;
+        }
+    }
+
+    // --- memory-pressure transitions --------------------------------
+
+    /**
+     * Evict under KV pressure at an iteration boundary. With
+     * @p recompute the K/V entries were discarded, so the restore must
+     * re-run the prompt AND the already-generated tokens through the
+     * prefill path (cursor reset, generated-token count preserved);
+     * without it (swap) the cursor and phase survive intact.
+     * @pre status == Running
+     */
+    void
+    preempt(bool recompute)
+    {
+        NEUPIMS_ASSERT(status == RequestStatus::Running,
+                       "preempting non-running request ", id);
+        status = RequestStatus::Preempted;
+        ++preemptions;
+        if (recompute) {
+            phase = RequestPhase::Prefill;
+            prefilledTokens = 0;
+            recomputeTokens = generatedTokens;
+        }
+    }
+
+    /** Rejoin the running batch after eviction (pages restored or the
+     * recompute prefill about to start). @pre preempted() */
+    void
+    restore()
+    {
+        NEUPIMS_ASSERT(preempted(),
+                       "restoring non-preempted request ", id);
+        status = RequestStatus::Running;
     }
 
     /** Advance one generation iteration (one token).

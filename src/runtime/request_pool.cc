@@ -89,6 +89,44 @@ RequestPool::dropWaitingHead()
     return id;
 }
 
+RequestId
+RequestPool::waitingHead() const
+{
+    NEUPIMS_ASSERT(!waiting_.empty());
+    return waiting_.front();
+}
+
+void
+RequestPool::preempt(RequestId id, bool recompute)
+{
+    auto it = std::find(running_.begin(), running_.end(), id);
+    NEUPIMS_ASSERT(it != running_.end(), "request not running: ", id);
+    running_.erase(it);
+    all_[id].preempt(recompute);
+    preempted_.push_back(id);
+}
+
+void
+RequestPool::restore(RequestId id)
+{
+    auto it = std::find(preempted_.begin(), preempted_.end(), id);
+    NEUPIMS_ASSERT(it != preempted_.end(),
+                   "request not preempted: ", id);
+    preempted_.erase(it);
+    all_[id].restore();
+    running_.push_back(id);
+}
+
+std::vector<Request *>
+RequestPool::preemptedRequests()
+{
+    std::vector<Request *> out;
+    out.reserve(preempted_.size());
+    for (RequestId id : preempted_)
+        out.push_back(&all_[id]);
+    return out;
+}
+
 std::vector<Request *>
 RequestPool::runningRequests()
 {

@@ -49,6 +49,7 @@ class RequestPool
     /** Requests waiting for admission, FIFO order. */
     std::size_t waitingCount() const { return waiting_.size(); }
     std::size_t runningCount() const { return running_.size(); }
+    std::size_t preemptedCount() const { return preempted_.size(); }
     std::uint64_t completedCount() const { return completed_; }
 
     /**
@@ -75,6 +76,30 @@ class RequestPool
      * capacity). @return its id. @pre waitingCount() > 0
      */
     RequestId dropWaitingHead();
+
+    /** Head of the waiting queue. @pre waitingCount() > 0 */
+    RequestId waitingHead() const;
+
+    /**
+     * Evict a running request under KV memory pressure (iteration
+     * boundary only): it leaves the running batch and joins the
+     * preempted queue, FIFO by eviction order. With @p recompute its
+     * prefill cursor resets so the restore re-runs the prompt (and the
+     * generated tokens) through prefill; without it the phase/cursor
+     * survive for a swap restore.
+     */
+    void preempt(RequestId id, bool recompute);
+
+    /**
+     * Restore a preempted request into the running batch (its KV
+     * pages were re-reserved by the caller). It rejoins at the back of
+     * the running order, i.e. as the youngest for LIFO victim
+     * selection.
+     */
+    void restore(RequestId id);
+
+    /** Preempted requests, FIFO by eviction order. */
+    std::vector<Request *> preemptedRequests();
 
     /** Pointers to the running batch (stable for this iteration). */
     std::vector<Request *> runningRequests();
@@ -123,6 +148,7 @@ class RequestPool
         pending_; ///< submitted, not yet arrived
     std::deque<RequestId> waiting_;
     std::vector<RequestId> running_;
+    std::deque<RequestId> preempted_; ///< evicted, FIFO restore order
     std::uint64_t completed_ = 0;
     std::uint64_t totalTokens_ = 0;
 };

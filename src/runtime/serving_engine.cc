@@ -39,13 +39,15 @@ ServingEngine::run()
         ++report.requestsSubmitted;
     }
 
+    const bool preempting = cfg_.scheduler.preempt.enabled();
     Cycle now = 0;
     int iteration = 0;
     std::uint64_t batchSum = 0;
     while (true) {
         pool_.releaseArrivals(now);
 
-        if (pool_.waitingCount() == 0 && pool_.runningCount() == 0) {
+        if (pool_.waitingCount() == 0 && pool_.runningCount() == 0 &&
+            pool_.preemptedCount() == 0) {
             Cycle next_arrival = pool_.nextArrivalCycle();
             if (next_arrival == kCycleMax)
                 break; // served everything
@@ -55,7 +57,45 @@ ServingEngine::run()
         }
 
         auto schedule = scheduler_.scheduleIteration();
-        if (schedule.empty()) {
+        report.requestsDropped +=
+            static_cast<int>(schedule.droppedNeverFit.size());
+
+        // Boundary bookkeeping happens at `now` whether or not the
+        // schedule carries priceable work: close the eviction span of
+        // every restored request, then open one per fresh victim (the
+        // scheduler never restores a victim of the same boundary).
+        for (Request *req : schedule.restoredNow) {
+            NEUPIMS_ASSERT(req->preemptStartCycle != kCycleMax);
+            Cycle span = now - req->preemptStartCycle;
+            req->preemptedCycles += span;
+            req->preemptStartCycle = kCycleMax;
+            report.restoreUs.record(cyclesToMicros(span));
+        }
+        for (Request *req : schedule.preemptedNow)
+            req->preemptStartCycle = now;
+
+        if (schedule.empty() && (!schedule.restoredNow.empty() ||
+                                 schedule.swapOutBytes > 0)) {
+            // Transfer-only iteration: a swap-out or swap-in with no
+            // compute scheduled still occupies the host link (and a
+            // recompute re-admission the boundary); the surviving
+            // work joins the batch at the next boundary. Fall
+            // through to price it as an iteration.
+        } else if (schedule.empty()) {
+            if (preempting) {
+                // The scheduler already rejected never-fitting heads
+                // and preemption frees pages for the next boundary —
+                // both count as progress; anything else would
+                // livelock (preemption never strands fitting work).
+                NEUPIMS_ASSERT(!schedule.droppedNeverFit.empty() ||
+                                   !schedule.preemptedNow.empty(),
+                               "empty schedule without progress "
+                               "under preemption: running=",
+                               pool_.runningCount(), " waiting=",
+                               pool_.waitingCount(), " preempted=",
+                               pool_.preemptedCount());
+                continue;
+            }
             // Nothing running and the head waiting request cannot be
             // placed on any channel even with the device empty — it
             // can never be served. Reject it rather than livelock.
@@ -86,10 +126,13 @@ ServingEngine::run()
             }
         }
         // A slice that consumes the last prompt tokens completes the
-        // prefill phase when the iteration does.
+        // prefill phase when the iteration does. A recompute restore
+        // re-runs prefill over a longer target; its original
+        // prefill-end stamp (the TTFT component) is never overwritten.
         for (const PrefillSlice &slice : schedule.prefill) {
             if (slice.startToken + slice.tokens >=
-                slice.req->inputLength)
+                    slice.req->prefillTargetTokens() &&
+                slice.req->prefillEndCycle == kCycleMax)
                 slice.req->prefillEndCycle = iter_end;
         }
         // Every decode participant emits one token when the iteration
@@ -117,6 +160,14 @@ ServingEngine::run()
             row.waiting = static_cast<int>(pool_.waitingCount());
             row.maxChannelLoad = max_load;
             row.kvUtilization = kv_.utilization();
+            row.preempted =
+                static_cast<int>(schedule.preemptedNow.size());
+            row.restored =
+                static_cast<int>(schedule.restoredNow.size());
+            row.preemptedPool =
+                static_cast<int>(pool_.preemptedCount());
+            row.swapOutBytes = schedule.swapOutBytes;
+            row.swapInBytes = schedule.swapInBytes;
             trace_.push_back(row);
         }
 
@@ -150,6 +201,13 @@ ServingEngine::run()
                               report.requestsCompleted -
                               report.requestsDropped;
 
+    const PreemptStats &ps = scheduler_.preemptStats();
+    report.preemptions = ps.preemptions;
+    report.restores = ps.restores;
+    report.kvPagesEvicted = ps.pagesFreed;
+    report.swapOutBytes = ps.swapOutBytes;
+    report.swapInBytes = ps.swapInBytes;
+
     // Latency distributions in request id (= submission) order so the
     // report is deterministic. A safety stop leaves requests in
     // flight with kCycleMax timeline sentinels; each statistic only
@@ -160,6 +218,12 @@ ServingEngine::run()
     for (RequestId id = 0;
          id < static_cast<RequestId>(report.requestsSubmitted); ++id) {
         const Request &req = pool_.request(id);
+        if (req.preemptions > 0) {
+            ++report.requestsPreempted;
+            if (req.status == RequestStatus::Done)
+                report.preemptedUs.record(
+                    cyclesToMicros(req.preemptedCycles));
+        }
         if (req.firstTokenCycle != kCycleMax) {
             report.ttftUs.record(cyclesToMicros(req.ttft()));
             report.queueUs.record(

@@ -77,6 +77,12 @@ struct IterationTraceRow
     int waiting = 0; ///< waiting count after admission
     double maxChannelLoad = 0.0; ///< Algorithm-1 estimate (cycles)
     double kvUtilization = 0.0;
+    // --- memory-pressure columns (all 0 with PreemptMode::Off) ------
+    int preempted = 0;       ///< victims evicted at this boundary
+    int restored = 0;        ///< evictees restored at this boundary
+    int preemptedPool = 0;   ///< evictees still parked afterwards
+    Bytes swapOutBytes = 0;  ///< swap traffic priced into the iteration
+    Bytes swapInBytes = 0;
 };
 
 /** Everything a serving run produced. */
@@ -88,6 +94,10 @@ struct ServingReport
 
     int requestsSubmitted = 0;
     int requestsCompleted = 0;
+    /** Rejected because the sequence can never fit a channel's KV
+     * capacity. Capacity pressure on fitting requests preempts (see
+     * preemptions below) instead of dropping — the two are reported
+     * separately. */
     int requestsDropped = 0;
     /** Admitted or waiting but unfinished when the run stopped (only
      * non-zero when a safety stop trips). Their unstamped timeline
@@ -100,6 +110,14 @@ struct ServingReport
     double meanBatchSize = 0.0; ///< decode + prefill participants
     bool hitSafetyStop = false; ///< maxCycles/maxIterations tripped
 
+    // --- memory-pressure accounting (all 0 with PreemptMode::Off) ---
+    std::uint64_t preemptions = 0;      ///< eviction events
+    std::uint64_t restores = 0;         ///< restore events
+    int requestsPreempted = 0;          ///< distinct requests evicted
+    std::uint64_t kvPagesEvicted = 0;   ///< pages freed for recompute
+    Bytes swapOutBytes = 0;             ///< total host-link traffic out
+    Bytes swapInBytes = 0;              ///< total host-link traffic in
+
     /** Latency distributions in microseconds. */
     LatencyStats ttftUs;
     /** TTFT decomposition: per-request queueing, prefill and
@@ -110,6 +128,14 @@ struct ServingReport
     LatencyStats firstDecodeUs;
     LatencyStats tbtUs; ///< mean time between tokens, per request
     LatencyStats e2eUs;
+    /** Per-restore eviction span (eviction boundary -> restore
+     * boundary), one sample per restore event. */
+    LatencyStats restoreUs;
+    /** Per-request total cycles spent evicted, sampled for finished
+     * requests that were preempted at least once. TTFT/TBT
+     * decompositions still sum exactly — these spans sit inside the
+     * prefill / inter-token gaps they inflate. */
+    LatencyStats preemptedUs;
     /** End-to-end latency normalized per output token (ms/token) —
      * the request-size-independent SLO metric. */
     LatencyStats perTokenMs;

@@ -39,6 +39,22 @@ updateGoldenRequested()
 }
 
 /**
+ * Read a golden file verbatim (for tests that assert identity against
+ * a golden OWNED by another test and must never regenerate it).
+ * Fails the calling test if the file is missing.
+ */
+inline std::string
+readGolden(const std::string &name)
+{
+    const std::string path = goldenPath(name);
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing golden file " << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/**
  * Byte-for-byte comparison of @p actual against the golden file, with
  * a line-level first-mismatch report. With NEUPIMS_UPDATE_GOLDEN=1
  * the golden file is (re)written instead and the test passes.

@@ -185,6 +185,179 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+// --- memory-pressure goldens -----------------------------------------------
+
+/**
+ * Over-capacity serving under preemption: device KV capacity shrunk
+ * 6x and the arrival rate at 1.5x the canonical golden's (270 vs 180
+ * rps), with prompts/outputs clamped so every request individually
+ * fits a channel — the sustained-pressure regime where the scheduler
+ * must evict and restore instead of stalling. Serialized with the
+ * preemption columns (victims, restores, parked pool, swap KiB).
+ */
+std::string
+serializePreemptRun(const GoldenServingCase &c,
+                    runtime::PreemptMode mode)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    ds.maxLength = 320; // input+output always fits a shrunk channel
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::scaleKvCapacity(cfg, 6);
+    core::applyPreemptConfig(
+        cfg, runtime::preemptModeName(mode), "lifo", 64.0);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# preempt=";
+    out += runtime::preemptModeName(mode);
+    out += " victim=lifo swap=64GB/s kvscale=6 maxlen=320\n";
+    out += "# iter,start,cycles,batch,prefilling,prefilltok,"
+           "admitted,retired,waiting,preempted,restored,parked,"
+           "swapoutKiB,swapinKiB,maxload,kvutil\n";
+    char line[320];
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%d,%d,%d,%llu,%llu,"
+            "%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.prefilling, row.prefillTokens,
+            row.admitted, row.retired, row.waiting, row.preempted,
+            row.restored, row.preemptedPool,
+            static_cast<unsigned long long>(row.swapOutBytes >> 10),
+            static_cast<unsigned long long>(row.swapInBytes >> 10),
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    out += summaryLine(report);
+    std::snprintf(
+        line, sizeof(line),
+        "# pressure preemptions=%llu restores=%llu "
+        "requestsPreempted=%d pagesEvicted=%llu swapOutKiB=%llu "
+        "swapInKiB=%llu\n",
+        static_cast<unsigned long long>(report.preemptions),
+        static_cast<unsigned long long>(report.restores),
+        report.requestsPreempted,
+        static_cast<unsigned long long>(report.kvPagesEvicted),
+        static_cast<unsigned long long>(report.swapOutBytes >> 10),
+        static_cast<unsigned long long>(report.swapInBytes >> 10));
+    out += line;
+    return out;
+}
+
+const GoldenServingCase kOverCapacityCase{
+    nullptr, "NeuPIMs+SBI", "poisson", "ShareGPT", 270.0, 96};
+
+TEST(GoldenServingTrace, OverCapacityRecomputeMatchesGolden)
+{
+    testing::compareOrUpdateGolden(
+        "serving_preempt_recompute_sbi_poisson_sharegpt.txt",
+        serializePreemptRun(kOverCapacityCase,
+                            runtime::PreemptMode::Recompute));
+}
+
+TEST(GoldenServingTrace, OverCapacitySwapMatchesGolden)
+{
+    testing::compareOrUpdateGolden(
+        "serving_preempt_swap_sbi_poisson_sharegpt.txt",
+        serializePreemptRun(kOverCapacityCase,
+                            runtime::PreemptMode::Swap));
+}
+
+/**
+ * The over-capacity runs must be *sustained*: preemption replaces the
+ * admission-stall-and-drop policy, so a fitting request is never
+ * dropped — only evicted and restored.
+ */
+TEST(GoldenServingTrace, OverCapacityRunsSustainWithoutDrops)
+{
+    for (auto mode : {runtime::PreemptMode::Recompute,
+                      runtime::PreemptMode::Swap}) {
+        auto llm = model::gpt3_13b();
+        const auto &backend = core::servingBackendByName("NeuPIMs+SBI");
+        auto ds = runtime::shareGptDataset();
+        ds.maxLength = 320;
+        auto traffic = runtime::makeTraffic("poisson", ds, 270.0, 96, 7);
+        auto latency = core::makeIterationModel(backend.device, llm);
+        auto cfg = core::servingConfigFor(backend.device, llm);
+        core::scaleKvCapacity(cfg, 6);
+        core::applyPreemptConfig(
+            cfg, runtime::preemptModeName(mode), "lifo", 64.0);
+        runtime::ServingEngine engine(cfg, *traffic, *latency);
+        auto report = engine.run();
+        EXPECT_EQ(report.requestsDropped, 0)
+            << runtime::preemptModeName(mode);
+        EXPECT_EQ(report.requestsCompleted, 96)
+            << runtime::preemptModeName(mode);
+        EXPECT_GT(report.preemptions, 0u)
+            << runtime::preemptModeName(mode);
+        EXPECT_EQ(report.preemptions, report.restores)
+            << runtime::preemptModeName(mode);
+        if (mode == runtime::PreemptMode::Swap) {
+            EXPECT_GT(report.swapOutBytes, 0u);
+            EXPECT_EQ(report.swapOutBytes, report.swapInBytes);
+        } else {
+            EXPECT_GT(report.kvPagesEvicted, 0u);
+        }
+    }
+}
+
+/**
+ * PreemptConfig::Off byte-identity: explicitly configuring the Off
+ * mode (rather than merely defaulting to it) must reproduce the
+ * canonical phase-model golden byte-for-byte — the memory-pressure
+ * refactor is invisible until it is switched on.
+ */
+TEST(GoldenServingTrace, ExplicitPreemptOffMatchesExistingGolden)
+{
+    GoldenServingCase c{"serving_neupims_sbi_poisson_sharegpt.txt",
+                        "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0,
+                        64};
+    std::unique_ptr<runtime::TrafficModel> traffic;
+    std::unique_ptr<runtime::IterationLatencyModel> latency;
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    traffic = runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    cfg.scheduler.prefill.policy = runtime::PrefillPolicy::Chunked;
+    core::applyPreemptConfig(cfg, "off", "fewest", 8.0);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# iter,start,cycles,batch,prefilling,prefilltok,"
+           "admitted,retired,waiting,maxload,kvutil\n";
+    char line[256];
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.prefilling, row.prefillTokens,
+            row.admitted, row.retired, row.waiting,
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    out += summaryLine(report);
+    // Compare only (never regenerate through this test): the file is
+    // owned by the canonical phase-model case above.
+    EXPECT_EQ(out, testing::readGolden(c.file));
+}
+
 /**
  * Legacy-mode differential anchor: with PrefillPolicy::Legacy the
  * refactored engine must reproduce the pre-refactor engine's trace
