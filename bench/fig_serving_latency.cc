@@ -31,6 +31,14 @@
  * counts under "preempt_sweep" — the cost of pressure as a priced
  * event rather than a stall.
  *
+ * A fourth sweep compares scheduling policies (fcfs, priority
+ * classes with aging, SLO-EDF) on the same over-capacity device
+ * under two priority-class arrival mixes across three offered loads,
+ * emitting per-class TTFT percentiles and per-class SLO attainment
+ * under "policy_sweep" — the differentiation the pluggable policy
+ * API exists to buy (high classes hold their SLO while low classes
+ * absorb the pressure).
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
@@ -302,8 +310,10 @@ main()
             auto traffic = runtime::makeTraffic("poisson", pds, rate,
                                                 requests, seed);
             auto cfg = core::servingConfigFor(backend.device, llm);
-            core::scaleKvCapacity(cfg, 6);
-            core::applyPreemptConfig(cfg, mode, "lifo", 64.0);
+            core::ServingOptions sopt;
+            sopt.preempt = mode;
+            sopt.kvScale = 6;
+            core::applyServingOptions(cfg, sopt);
             runtime::ServingEngine engine(cfg, *traffic, *latency);
             auto report = engine.run();
 
@@ -356,6 +366,97 @@ main()
             emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, false);
             std::fprintf(json, "    }");
             first = false;
+        }
+    }
+
+    std::fprintf(json, "\n  ],\n  \"policy_sweep\": [\n");
+
+    // --- Scheduling-policy sweep: fcfs vs priority vs edf ----------
+    std::printf("\n=== Scheduling-policy sweep (NeuPIMs+SBI, poisson, "
+                "ShareGPT, KV/6, maxlen 320, recompute) ===\n\n");
+    std::printf("%-9s %-11s %5s | %8s %8s | %8s %8s | %7s %7s | %s\n",
+                "policy", "classes", "load", "ttft-p95", "tbt-p95",
+                "hi-ttft95", "lo-ttft95", "hi-slo", "lo-slo", "done");
+
+    const std::vector<const char *> policies = {"fcfs", "priority",
+                                                "edf"};
+    const std::vector<const char *> mixes = {"two-tier", "three-tier"};
+    std::vector<double> policy_loads = {1.0, 1.5, 2.0};
+    if (bench::fastMode())
+        policy_loads = {1.5};
+    first = true;
+    for (const char *policy : policies) {
+        for (const char *mix : mixes) {
+            for (double load : policy_loads) {
+                double rate = preempt_base_rate * load;
+                auto traffic = runtime::makeTraffic("poisson", pds,
+                                                    rate, requests,
+                                                    seed);
+                traffic->setClassMix(runtime::classMixByName(mix),
+                                     seed);
+                auto cfg = core::servingConfigFor(backend.device, llm);
+                core::ServingOptions sopt;
+                sopt.preempt = "recompute";
+                sopt.policy = policy;
+                sopt.kvScale = 6;
+                core::applyServingOptions(cfg, sopt);
+                runtime::ServingEngine engine(cfg, *traffic, *latency);
+                auto report = engine.run();
+
+                // Highest and lowest class present, for the table.
+                const auto &lo = report.classes.front();
+                const auto &hi = report.classes.back();
+                std::printf(
+                    "%-9s %-11s %4.1fx | %8.1f %8.2f | %8.1f %8.1f | "
+                    "%6.1f%% %6.1f%% | %d\n",
+                    policy, mix, load, report.ttftUs.p95() / 1e3,
+                    report.tbtUs.p95() / 1e3, hi.ttftUs.p95() / 1e3,
+                    lo.ttftUs.p95() / 1e3, hi.ttftAttainment * 100.0,
+                    lo.ttftAttainment * 100.0,
+                    report.requestsCompleted);
+
+                std::fprintf(
+                    json,
+                    "%s    {\n      \"policy\": \"%s\", \"classes\": "
+                    "\"%s\", \"load\": %.2f, \"rate_rps\": %.2f,\n"
+                    "      \"completed\": %d, \"dropped\": %d, "
+                    "\"preemptions\": %llu,\n"
+                    "      \"tokens_per_s\": %.1f, "
+                    "\"mean_batch\": %.2f,\n",
+                    first ? "" : ",\n", policy, mix, load, rate,
+                    report.requestsCompleted, report.requestsDropped,
+                    static_cast<unsigned long long>(
+                        report.preemptions),
+                    report.tokensPerSecond(), report.meanBatchSize);
+                emitLatency(json, "ttft_ms", report.ttftUs, 1e-3,
+                            true);
+                emitLatency(json, "tbt_ms", report.tbtUs, 1e-3, true);
+                emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, true);
+                std::fprintf(json, "      \"class_breakdown\": [\n");
+                for (std::size_t i = 0; i < report.classes.size();
+                     ++i) {
+                    const auto &cls = report.classes[i];
+                    std::fprintf(
+                        json,
+                        "        {\"class\": %d, \"submitted\": %d, "
+                        "\"completed\": %d, \"preempted\": %d,\n"
+                        "         \"ttft_p50_ms\": %.3f, "
+                        "\"ttft_p95_ms\": %.3f, "
+                        "\"e2e_p95_ms\": %.3f,\n"
+                        "         \"tbt_p95_ms\": %.3f, "
+                        "\"slo_ttft\": %.4f, \"slo_tpt\": %.4f}%s\n",
+                        cls.priorityClass, cls.submitted,
+                        cls.completed, cls.preempted,
+                        cls.ttftUs.p50() * 1e-3,
+                        cls.ttftUs.p95() * 1e-3,
+                        cls.e2eUs.p95() * 1e-3,
+                        cls.tbtUs.p95() * 1e-3, cls.ttftAttainment,
+                        cls.tptAttainment,
+                        i + 1 < report.classes.size() ? "," : "");
+                }
+                std::fprintf(json, "      ]\n    }");
+                first = false;
+            }
         }
     }
 

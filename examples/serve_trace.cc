@@ -21,6 +21,9 @@
  *                 [--preempt off|recompute|swap]
  *                 [--victim lifo|fewest|longest] [--swap-gbps F]
  *                 [--kv-scale N]
+ *                 [--policy fcfs|priority|edf]
+ *                 [--classes uniform|two-tier|three-tier]
+ *                 [--slo-ttft-ms F] [--slo-tpt-ms F] [--aging-ms F]
  *
  * --trace replays an external CSV (arrival_us,input,output rows) in
  * place of the synthetic fixed-rate replay trace. --measured swaps
@@ -38,6 +41,15 @@
  * pages in a host tier over a --swap-gbps link. --victim picks the
  * eviction order; --kv-scale shrinks device KV capacity by an integer
  * factor to drive over-capacity scenarios without changing traffic.
+ *
+ * --policy selects the scheduling policy that owns admission order,
+ * prefill-budget sharing, victim scoring and restore order (fcfs
+ * reproduces the historical scheduler bit-for-bit); --classes stamps
+ * arrivals with a priority-class mix carrying per-request SLO
+ * targets, --slo-ttft-ms/--slo-tpt-ms set the default targets for
+ * requests without their own, and --aging-ms tunes PriorityClass
+ * anti-starvation aging. Multi-class runs append per-class latency
+ * and SLO-attainment lines under each config row.
  */
 
 #include <cstdio>
@@ -72,24 +84,16 @@ struct Options
     std::string victim = "lifo";
     double swapGbps = 64.0;
     int kvScale = 1;
+    std::string policy = "fcfs";
+    std::string classes = "uniform";
+    double sloTtftMs = 250.0;
+    double sloTptMs = 25.0;
+    double agingMs = 50.0;
     int maxLen = 0; ///< 0 = dataset default
     bool measured = false;
     bool calibrate = false;
     bool dumpTrace = false;
 };
-
-runtime::PrefillPolicy
-prefillPolicyByName(const std::string &name)
-{
-    if (name == "legacy")
-        return runtime::PrefillPolicy::Legacy;
-    if (name == "whole")
-        return runtime::PrefillPolicy::WholePrompt;
-    if (name == "chunked")
-        return runtime::PrefillPolicy::Chunked;
-    fatal("unknown prefill policy '", name,
-          "' (expected legacy|whole|chunked)");
-}
 
 /**
  * Per-dataset default arrival rate: ~2/3 of full NeuPIMs' sustainable
@@ -138,7 +142,10 @@ usage(const char *argv0)
         "[--no-piggyback]\n"
         "          [--preempt off|recompute|swap] [--victim "
         "lifo|fewest|longest]\n"
-        "          [--swap-gbps F] [--kv-scale N]\n",
+        "          [--swap-gbps F] [--kv-scale N] [--policy "
+        "fcfs|priority|edf]\n"
+        "          [--classes uniform|two-tier|three-tier]\n"
+        "          [--slo-ttft-ms F] [--slo-tpt-ms F] [--aging-ms F]\n",
         argv0);
 }
 
@@ -187,6 +194,16 @@ main(int argc, char **argv)
             opt.swapGbps = std::atof(value());
         else if (arg == "--kv-scale")
             opt.kvScale = std::atoi(value());
+        else if (arg == "--policy")
+            opt.policy = value();
+        else if (arg == "--classes")
+            opt.classes = value();
+        else if (arg == "--slo-ttft-ms")
+            opt.sloTtftMs = std::atof(value());
+        else if (arg == "--slo-tpt-ms")
+            opt.sloTptMs = std::atof(value());
+        else if (arg == "--aging-ms")
+            opt.agingMs = std::atof(value());
         else if (arg == "--max-len")
             opt.maxLen = std::atoi(value());
         else if (arg == "--measured")
@@ -228,18 +245,20 @@ main(int argc, char **argv)
             ds.maxLength = opt.maxLen;
     }
 
-    runtime::PrefillPolicy policy = prefillPolicyByName(opt.prefill);
+    runtime::PrefillPolicy policy = runtime::prefillPolicyByName(opt.prefill);
+    runtime::ClassMix mix = runtime::classMixByName(opt.classes);
     std::printf("NeuPIMs closed-loop serving: %s, %d requests, "
                 "seed %llu, %s iteration model, %s prefill"
                 " (chunk %d%s), %s preemption (victim %s, "
-                "%.0f GB/s%s)\n\n",
+                "%.0f GB/s%s), %s policy (%s classes)\n\n",
                 llm.name.c_str(), opt.requests,
                 static_cast<unsigned long long>(opt.seed),
                 opt.measured ? "measured" : "analytic",
                 opt.prefill.c_str(), opt.chunkTokens,
                 opt.piggyback ? ", piggyback" : "",
                 opt.preempt.c_str(), opt.victim.c_str(), opt.swapGbps,
-                opt.kvScale > 1 ? ", shrunk KV" : "");
+                opt.kvScale > 1 ? ", shrunk KV" : "",
+                opt.policy.c_str(), opt.classes.c_str());
     std::printf("%-12s %-8s %-9s %5s %9s %9s %6s | %8s %8s %8s | "
                 "%8s %8s %8s | %8s %8s | %6s | %4s %4s %7s | %s\n",
                 "backend", "traffic", "dataset", "done", "span(ms)",
@@ -270,15 +289,22 @@ main(int argc, char **argv)
                     traffic = runtime::makeTraffic(kind, ds, rate,
                                                    opt.requests,
                                                    opt.seed);
+                traffic->setClassMix(mix, opt.seed);
 
                 auto cfg = core::servingConfigFor(backend.device, llm);
                 cfg.scheduler.prefill.policy = policy;
                 cfg.scheduler.prefill.chunkTokens = opt.chunkTokens;
                 cfg.scheduler.prefill.piggyback = opt.piggyback;
-                core::applyPreemptConfig(cfg, opt.preempt, opt.victim,
-                                         opt.swapGbps);
-                if (opt.kvScale > 1)
-                    core::scaleKvCapacity(cfg, opt.kvScale);
+                core::ServingOptions serving_opt;
+                serving_opt.preempt = opt.preempt;
+                serving_opt.victim = opt.victim;
+                serving_opt.swapGbps = opt.swapGbps;
+                serving_opt.policy = opt.policy;
+                serving_opt.agingMs = opt.agingMs;
+                serving_opt.sloTtftMs = opt.sloTtftMs;
+                serving_opt.sloTptMs = opt.sloTptMs;
+                serving_opt.kvScale = opt.kvScale;
+                core::applyServingOptions(cfg, serving_opt);
                 runtime::ServingEngine engine(cfg, *traffic, *latency);
                 auto report = engine.run();
                 report.backend = backend.name;
@@ -309,6 +335,25 @@ main(int argc, char **argv)
                         1e6,
                     static_cast<unsigned long long>(finishChecksum(
                         engine, report.requestsSubmitted)));
+
+                // Per-class breakdown whenever the run actually has
+                // classes to break down.
+                if (report.classes.size() > 1) {
+                    for (const auto &cls : report.classes) {
+                        std::printf(
+                            "    class %d: n=%-4d done=%-4d "
+                            "drop=%-3d pree=%-3d | ttft-p50 %8.1f "
+                            "p95 %8.1f | e2e-p95 %8.0f | "
+                            "slo-ttft %5.1f%% slo-tpt %5.1f%%\n",
+                            cls.priorityClass, cls.submitted,
+                            cls.completed, cls.dropped,
+                            cls.preempted, cls.ttftUs.p50() / 1e3,
+                            cls.ttftUs.p95() / 1e3,
+                            cls.e2eUs.p95() / 1e3,
+                            cls.ttftAttainment * 100.0,
+                            cls.tptAttainment * 100.0);
+                    }
+                }
 
                 if (opt.dumpTrace) {
                     for (const auto &row : engine.trace()) {

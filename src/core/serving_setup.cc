@@ -55,14 +55,27 @@ servingConfigFor(const DeviceConfig &dev, const model::LlmConfig &llm,
 }
 
 void
-applyPreemptConfig(runtime::ServingConfig &cfg,
-                   const std::string &mode, const std::string &victim,
-                   double swap_gbps)
+applyServingOptions(runtime::ServingConfig &cfg,
+                    const ServingOptions &opt)
 {
-    cfg.scheduler.preempt.mode = runtime::preemptModeByName(mode);
+    cfg.scheduler.preempt.mode =
+        runtime::preemptModeByName(opt.preempt);
     cfg.scheduler.preempt.victim =
-        runtime::victimPolicyByName(victim);
-    cfg.scheduler.preempt.swapGBps = swap_gbps;
+        runtime::victimPolicyByName(opt.victim);
+    cfg.scheduler.preempt.swapGBps = opt.swapGbps;
+
+    cfg.scheduler.policy.kind =
+        runtime::schedulingPolicyByName(opt.policy);
+    // ms -> cycles at the 1 GHz domain (1 ms == 1e6 cycles).
+    cfg.scheduler.policy.agingCycles =
+        static_cast<Cycle>(opt.agingMs * 1e6);
+    cfg.scheduler.policy.defaultTtftSlo =
+        static_cast<Cycle>(opt.sloTtftMs * 1e6);
+    cfg.scheduler.policy.defaultTptSlo =
+        static_cast<Cycle>(opt.sloTptMs * 1e6);
+
+    if (opt.kvScale > 1)
+        scaleKvCapacity(cfg, opt.kvScale);
 }
 
 void

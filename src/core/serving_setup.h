@@ -59,15 +59,42 @@ makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
                    bool measured = false, int quantize_seq = 64);
 
 /**
- * Apply a memory-pressure policy to a serving config (drivers, benches
- * and the over-capacity goldens share this wiring): preemption mode,
- * victim selection and host swap link rate. "off" restores the legacy
- * admission-stall behavior bit-for-bit.
+ * Everything a serving driver configures beyond the backend/model
+ * pair, in one documented struct applied by applyServingOptions —
+ * replacing the former applyPreemptConfig string/double
+ * default-argument wiring. The defaults reproduce the canonical
+ * serving setup (Fcfs, preemption off, full KV capacity)
+ * bit-for-bit.
  */
-void applyPreemptConfig(runtime::ServingConfig &cfg,
-                        const std::string &mode,
-                        const std::string &victim = "lifo",
-                        double swap_gbps = 64.0);
+struct ServingOptions
+{
+    // --- memory pressure (PreemptConfig) ------------------------
+    /** "off" (legacy admission stall) | "recompute" | "swap". */
+    std::string preempt = "off";
+    /** Victim order under pressure: "lifo" | "fewest" | "longest". */
+    std::string victim = "lifo";
+    /** Host link rate for Swap transfers (GB/s). */
+    double swapGbps = 64.0;
+
+    // --- scheduling policy (SchedPolicyConfig) ------------------
+    /** "fcfs" | "priority" | "edf" (runtime/sched_policy.h). */
+    std::string policy = "fcfs";
+    /** PriorityClass anti-starvation aging period (ms; 0 = off). */
+    double agingMs = 50.0;
+    /** Default SLO targets for requests carrying none (ms). */
+    double sloTtftMs = 250.0;
+    double sloTptMs = 25.0;
+
+    // --- capacity -----------------------------------------------
+    /** Shrink device KV capacity by this factor (over-capacity
+     * scenarios without changing traffic or model). */
+    int kvScale = 1;
+};
+
+/** Apply @p opt onto @p cfg (drivers, benches and the goldens share
+ * this wiring; fatal() on unknown names). */
+void applyServingOptions(runtime::ServingConfig &cfg,
+                         const ServingOptions &opt);
 
 /**
  * Shrink the device KV capacity by an integer factor — the standard

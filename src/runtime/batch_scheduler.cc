@@ -50,19 +50,6 @@ preemptModeByName(const std::string &name)
           "' (expected off|recompute|swap)");
 }
 
-VictimPolicy
-victimPolicyByName(const std::string &name)
-{
-    if (name == "lifo")
-        return VictimPolicy::LifoYoungest;
-    if (name == "fewest")
-        return VictimPolicy::FewestPages;
-    if (name == "longest")
-        return VictimPolicy::LongestRemaining;
-    fatal("unknown victim policy '", name,
-          "' (expected lifo|fewest|longest)");
-}
-
 const char *
 preemptModeName(PreemptMode mode)
 {
@@ -77,9 +64,37 @@ preemptModeName(PreemptMode mode)
     return "?";
 }
 
+PrefillPolicy
+prefillPolicyByName(const std::string &name)
+{
+    if (name == "legacy")
+        return PrefillPolicy::Legacy;
+    if (name == "whole")
+        return PrefillPolicy::WholePrompt;
+    if (name == "chunked")
+        return PrefillPolicy::Chunked;
+    fatal("unknown prefill policy '", name,
+          "' (expected legacy|whole|chunked)");
+}
+
+const char *
+prefillPolicyName(PrefillPolicy policy)
+{
+    switch (policy) {
+    case PrefillPolicy::Legacy:
+        return "legacy";
+    case PrefillPolicy::WholePrompt:
+        return "whole";
+    case PrefillPolicy::Chunked:
+        return "chunked";
+    }
+    return "?";
+}
+
 BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,
                                RequestPool &pool, PagedKvCache &kv)
-    : cfg_(cfg), pool_(pool), kv_(kv), estimator_(cfg.estimator)
+    : cfg_(cfg), pool_(pool), kv_(kv), estimator_(cfg.estimator),
+      policy_(makeSchedulingPolicy(cfg.policy, cfg.preempt.victim))
 {
     NEUPIMS_ASSERT(cfg_.channels >= 1 && cfg_.maxBatch >= 1);
     NEUPIMS_ASSERT(cfg_.prefill.policy != PrefillPolicy::Chunked ||
@@ -125,52 +140,53 @@ BatchScheduler::admissionTokens(const Request &req) const
     return std::max(1, remaining);
 }
 
-ChannelId
-BatchScheduler::pickChannel(const Request &req,
-                            std::vector<double> &loads)
+std::vector<bool>
+BatchScheduler::urgentChannels()
 {
-    int tokens = lazyKvAlloc() ? admissionTokens(req)
-                               : req.currentSeqLen();
+    std::vector<bool> urgent(static_cast<std::size_t>(cfg_.channels),
+                             false);
+    for (const Request *res : pool_.runningRequests()) {
+        if (res->channel >= 0 && res->channel < cfg_.channels &&
+            policy_->urgency(*res, now_) >= 0.5)
+            urgent[res->channel] = true;
+    }
+    return urgent;
+}
+
+template <typename Room>
+ChannelId
+BatchScheduler::placeByUrgency(const Request &req,
+                               const std::vector<double> &loads,
+                               const Room &room)
+{
     if (cfg_.minLoadPacking) {
-        // Min-load channel among those with KV room.
+        // Min-load channel among those with KV room (Algorithm 2).
+        // The packer consults the policy's urgency: a low-urgency
+        // request prefers channels hosting no urgent resident
+        // (min-load within that subset, falling back to all), so
+        // urgent requests keep KV headroom and see less co-located
+        // pressure churn without distorting the load balance. Fcfs
+        // reports urgency 1.0 for everything, leaving the historical
+        // min-load packing bit-for-bit.
+        const bool isolate = policy_->urgency(req, now_) < 0.5;
+        std::vector<bool> urgent;
+        if (isolate)
+            urgent = urgentChannels();
         ChannelId best = kInvalidId;
+        bool bestAvoids = false;
         for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
-            if (!kv_.canAllocate(ch, tokens))
+            if (!room(ch))
                 continue;
-            if (best == kInvalidId || loads[ch] < loads[best])
+            bool avoids = isolate && !urgent[ch];
+            if (best == kInvalidId || (avoids && !bestAvoids) ||
+                (avoids == bestAvoids && loads[ch] < loads[best])) {
                 best = ch;
+                bestAvoids = avoids;
+            }
         }
         return best;
     }
     // Round-robin: first channel with room, starting at the cursor.
-    for (int probe = 0; probe < cfg_.channels; ++probe) {
-        ChannelId ch = (rrCursor_ + probe) % cfg_.channels;
-        if (kv_.canAllocate(ch, tokens)) {
-            rrCursor_ = (ch + 1) % cfg_.channels;
-            return ch;
-        }
-    }
-    return kInvalidId;
-}
-
-ChannelId
-BatchScheduler::pickChannelWithPages(
-    std::int64_t pages, const std::vector<double> &loads,
-    const std::vector<std::int64_t> &reserved)
-{
-    auto room = [&](ChannelId ch) {
-        return kv_.freePages(ch) - reserved[ch] >= pages;
-    };
-    if (cfg_.minLoadPacking) {
-        ChannelId best = kInvalidId;
-        for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
-            if (!room(ch))
-                continue;
-            if (best == kInvalidId || loads[ch] < loads[best])
-                best = ch;
-        }
-        return best;
-    }
     for (int probe = 0; probe < cfg_.channels; ++probe) {
         ChannelId ch = (rrCursor_ + probe) % cfg_.channels;
         if (room(ch)) {
@@ -181,22 +197,63 @@ BatchScheduler::pickChannelWithPages(
     return kInvalidId;
 }
 
-void
-BatchScheduler::dropNeverFitting(IterationSchedule &out)
+ChannelId
+BatchScheduler::pickChannel(const Request &req,
+                            std::vector<double> &loads)
 {
-    // A sequence eventually holds prompt + output tokens on a single
-    // channel. A head that exceeds that bound can never complete —
-    // under preemption it would evict the whole channel and still not
-    // fit, a livelock; reject it instead of stalling admission.
+    int tokens = lazyKvAlloc() ? admissionTokens(req)
+                               : req.currentSeqLen();
+    return placeByUrgency(req, loads, [&](ChannelId ch) {
+        return kv_.canAllocate(ch, tokens);
+    });
+}
+
+ChannelId
+BatchScheduler::pickChannelWithPages(
+    const Request &req, std::int64_t pages,
+    const std::vector<double> &loads,
+    const std::vector<std::int64_t> &reserved)
+{
+    return placeByUrgency(req, loads, [&](ChannelId ch) {
+        return kv_.freePages(ch) - reserved[ch] >= pages;
+    });
+}
+
+RequestId
+BatchScheduler::nextAdmission(IterationSchedule &out)
+{
+    const bool preempting = cfg_.preempt.enabled();
     while (pool_.waitingCount() > 0) {
-        const Request &head = pool_.request(pool_.waitingHead());
-        std::int64_t worst = kv_.pagesForTokens(head.inputLength +
-                                                head.outputLength);
+        // Stable minimum under the policy's admission order: ties
+        // keep waiting-queue (arrival) order. Fcfs never prefers, so
+        // it declares reordersAdmission() false and keeps the O(1)
+        // head pop instead of scanning the queue.
+        const auto &waiting = pool_.waitingIds();
+        RequestId pick = waiting.front();
+        if (policy_->reordersAdmission()) {
+            for (RequestId id : waiting) {
+                if (policy_->admitBefore(pool_.request(id),
+                                         pool_.request(pick), now_))
+                    pick = id;
+            }
+        }
+        if (!preempting)
+            return pick;
+        // A sequence eventually holds prompt + output tokens on a
+        // single channel. A pick that exceeds that bound can never
+        // complete — under preemption it would evict the whole
+        // channel and still not fit, a livelock; reject it instead
+        // of stalling admission, and re-pick.
+        const Request &req = pool_.request(pick);
+        std::int64_t worst = kv_.pagesForTokens(req.inputLength +
+                                                req.outputLength);
         if (worst <= kv_.config().pagesPerChannel())
-            break;
-        out.droppedNeverFit.push_back(pool_.dropWaitingHead());
+            return pick;
+        pool_.dropWaiting(pick);
+        out.droppedNeverFit.push_back(pick);
         ++preemptStats_.neverFitDrops;
     }
+    return kInvalidId;
 }
 
 void
@@ -213,36 +270,43 @@ BatchScheduler::restorePreempted(IterationSchedule &out,
     while (pool_.preemptedCount() > 0 &&
            pool_.runningCount() <
                static_cast<std::size_t>(cfg_.maxBatch)) {
-        // Strict FIFO: the oldest eviction restores first; a blocked
-        // head blocks the queue (no overtaking, bounded starvation).
-        Request *req = pool_.preemptedRequests().front();
-        // Never bounce a victim of this very boundary straight back
-        // in (it would ride its own freed pages out and back, pure
-        // transfer churn); FIFO means everything behind it is just as
-        // fresh, so stop.
-        bool evicted_now = false;
-        for (const Request *p : out.preemptedNow)
-            evicted_now = evicted_now || p == req;
-        if (evicted_now)
+        // Policy restore order (stable minimum: ties keep eviction
+        // FIFO order, which is exactly what Fcfs degrades to), never
+        // bouncing a victim of this very boundary straight back in
+        // (it would ride its own freed pages out and back, pure
+        // transfer churn). A blocked pick blocks the queue: with a
+        // policy order, anything it outranks must keep waiting behind
+        // it (no overtaking, bounded starvation).
+        Request *req = nullptr;
+        for (Request *cand : pool_.preemptedRequests()) {
+            bool evicted_now = false;
+            for (const Request *p : out.preemptedNow)
+                evicted_now = evicted_now || p == cand;
+            if (evicted_now)
+                continue;
+            if (!req || policy_->restoreBefore(*cand, *req, now_))
+                req = cand;
+        }
+        if (!req)
             break;
         if (recompute) {
             std::int64_t pages =
                 kv_.pagesForTokens(admissionTokens(*req));
             ChannelId ch =
-                pickChannelWithPages(pages, loads, reserved);
+                pickChannelWithPages(*req, pages, loads, reserved);
             if (ch == kInvalidId)
                 break;
             req->channel = ch;
             kv_.bindSequence(req->id, ch);
             // bindSequence takes no pages yet — the first chunk
             // reserves at the next boundary. Count it against later
-            // restores now, or every FIFO entry would see the same
-            // room and pile onto one channel.
+            // restores now, or every queued restore would see the
+            // same room and pile onto one channel.
             reserved[ch] += pages;
         } else {
             std::int64_t pages = kv_.hostPagesOf(req->id);
             ChannelId ch =
-                pickChannelWithPages(pages, loads, reserved);
+                pickChannelWithPages(*req, pages, loads, reserved);
             if (ch == kInvalidId)
                 break;
             Bytes bytes = kv_.swapIn(req->id, ch);
@@ -268,12 +332,14 @@ BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
     const bool lazy = lazyKvAlloc();
 
     // One page-demanding unit of this schedule: a decode append (one
-    // token) or a prefill slice (chunk growth). Resolved oldest-first
-    // (ascending RequestId == submission order): a demander may only
-    // evict strictly younger requests, so the oldest request in the
-    // system always makes progress and preemption cannot livelock —
-    // the same age-priority rule vLLM's scheduler uses. A demander
-    // that cannot be satisfied even after evicting every younger
+    // token) or a prefill slice (chunk growth). Resolved in the
+    // policy's pressure order (Fcfs: ascending RequestId ==
+    // submission order, the age-priority rule vLLM's scheduler
+    // uses): a demander may only evict requests it strictly
+    // outranks, so the top-ranked request in the system always makes
+    // progress and preemption cannot livelock — any strict total
+    // order inherits the argument (DESIGN.md §8). A demander that
+    // cannot be satisfied even after evicting every outranked
     // resident stalls for this iteration (its work is removed; it
     // keeps its pages) instead of churning.
     struct Demand
@@ -304,13 +370,18 @@ BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
     };
 
     auto pick_victim = [&](ChannelId ch,
-                           RequestId older_than) -> Request * {
-        // Candidates: strictly younger residents of the channel that
-        // hold pages (evicting a page-less request frees nothing;
-        // its own demands are resolved on its own turn).
+                           const Request &demander) -> Request * {
+        // Candidates: residents of the channel the demander strictly
+        // outranks that hold pages (evicting a page-less request
+        // frees nothing; its own demands are resolved on its own
+        // turn). The policy scores them; the highest score evicts
+        // first, ties toward the most recently (re)admitted (cands
+        // follows running order: back() == youngest), which makes
+        // LifoYoungest exactly a constant score.
         std::vector<Request *> cands;
         for (Request *req : pool_.runningRequests()) {
-            if (req->channel != ch || req->id <= older_than)
+            if (req->channel != ch ||
+                !policy_->outranks(demander, *req, now_))
                 continue;
             if (kv_.pagesOf(req->id) <= 0)
                 continue;
@@ -318,25 +389,15 @@ BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
         }
         if (cands.empty())
             return nullptr;
-        // cands is in running (admission) order: back() == youngest.
-        // Ties below resolve toward the youngest as well.
-        Request *victim = cands.back();
-        if (cfg_.preempt.victim == VictimPolicy::FewestPages) {
-            victim = cands.front();
-            for (Request *req : cands) {
-                if (kv_.pagesOf(req->id) <= kv_.pagesOf(victim->id))
-                    victim = req;
-            }
-        } else if (cfg_.preempt.victim ==
-                   VictimPolicy::LongestRemaining) {
-            auto remaining = [](const Request *req) {
-                return req->remainingPrefill() + req->outputLength -
-                       req->generatedTokens;
-            };
-            victim = cands.front();
-            for (Request *req : cands) {
-                if (remaining(req) >= remaining(victim))
-                    victim = req;
+        Request *victim = cands.front();
+        double best = policy_->victimScore(
+            *victim, kv_.pagesOf(victim->id), now_);
+        for (Request *req : cands) {
+            double score =
+                policy_->victimScore(*req, kv_.pagesOf(req->id), now_);
+            if (score >= best) {
+                victim = req;
+                best = score;
             }
         }
         return victim;
@@ -370,21 +431,22 @@ BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
     for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
         auto &chd = demands[ch];
         std::sort(chd.begin(), chd.end(),
-                  [](const Demand &a, const Demand &b) {
-                      return a.req->id < b.req->id;
+                  [this](const Demand &a, const Demand &b) {
+                      return policy_->outranks(*a.req, *b.req, now_);
                   });
-        std::int64_t reserved = 0; // pages granted to older demanders
+        std::int64_t reserved = 0; // pages granted to earlier ranks
         for (std::size_t i = 0; i < chd.size(); ++i) {
             // Every entry reached here is live: preempt_victim erases
-            // a victim's entries, and victims sort strictly after the
-            // current demander, so erasures never touch positions
-            // already consumed (a stalled demander keeps its entry,
-            // but it was consumed on its own turn).
+            // a victim's entries, and victims — strictly outranked —
+            // sort strictly after the current demander, so erasures
+            // never touch positions already consumed (a stalled
+            // demander keeps its entry, but it was consumed on its
+            // own turn).
             Request *req = chd[i].req;
             std::int64_t need =
                 kv_.pagesForAppend(req->id, chd[i].tokens);
             while (need > kv_.freePages(ch) - reserved) {
-                Request *victim = pick_victim(ch, req->id);
+                Request *victim = pick_victim(ch, *req);
                 if (!victim) {
                     drop_work(req); // stall: keep pages, skip a turn
                     need = -1;
@@ -404,24 +466,23 @@ void
 BatchScheduler::schedulePrefill(
     IterationSchedule &out, const std::vector<Request *> &running)
 {
-    // FIFO by submission age: earlier prompts finish their prefill
-    // first, bounding TTFT head-of-line effects. Without preemption
-    // the running set is already age-ordered, so this is exactly the
-    // admission order; with it, restores re-enter at the back of the
-    // running order and MUST NOT lose their budget priority — the
-    // pressure resolver only lets a request evict strictly younger
-    // victims, so handing the token budget to a younger request that
-    // cannot take pages from older residents would deadlock them
-    // against each other.
-    std::vector<Request *> by_age(running.begin(), running.end());
-    std::sort(by_age.begin(), by_age.end(),
-              [](const Request *a, const Request *b) {
-                  return a->id < b->id;
+    // The policy's pressure order (Fcfs: submission age — earlier
+    // prompts finish their prefill first, bounding TTFT head-of-line
+    // effects). The token budget MUST follow the same order the
+    // pressure resolver uses for eviction priority: handing budget to
+    // a request that cannot take pages from the residents outranking
+    // it would deadlock the two orders against each other — the
+    // livelock-freedom obligation a SchedulingPolicy signs up for by
+    // making outranks() one strict total order owning both decisions.
+    std::vector<Request *> by_rank(running.begin(), running.end());
+    std::sort(by_rank.begin(), by_rank.end(),
+              [this](const Request *a, const Request *b) {
+                  return policy_->outranks(*a, *b, now_);
               });
     int budget = cfg_.prefill.policy == PrefillPolicy::Chunked
                      ? cfg_.prefill.chunkTokens
                      : std::numeric_limits<int>::max();
-    for (Request *req : by_age) {
+    for (Request *req : by_rank) {
         if (!req->prefilling())
             continue;
         if (budget <= 0)
@@ -435,8 +496,9 @@ BatchScheduler::schedulePrefill(
 }
 
 IterationSchedule
-BatchScheduler::scheduleIteration()
+BatchScheduler::scheduleIteration(Cycle now)
 {
+    now_ = now;
     IterationSchedule out;
     const bool preempting = cfg_.preempt.enabled();
     if (cfg_.preempt.mode == PreemptMode::Swap)
@@ -454,28 +516,29 @@ BatchScheduler::scheduleIteration()
             estimator_.estimate(req->currentSeqLen());
     }
 
-    // Iteration-level admission: fill the batch while KV room lasts.
-    // Unrestored evictees hold admission priority — fresh admissions
-    // would only churn straight back out under the same pressure.
+    // Iteration-level admission: fill the batch while KV room lasts,
+    // in the policy's admission order (never-fitting picks are
+    // rejected as they surface, not just once per boundary — a
+    // fitting pick may hide one). Unrestored evictees hold admission
+    // priority — fresh admissions would only churn straight back out
+    // under the same pressure.
     while (pool_.preemptedCount() == 0 &&
            pool_.runningCount() < static_cast<std::size_t>(
                                       cfg_.maxBatch) &&
            pool_.waitingCount() > 0) {
-        if (preempting) {
-            // Reject never-fitting heads as they surface, not just
-            // once per boundary — a fitting head may hide one.
-            dropNeverFitting(out);
-            if (pool_.waitingCount() == 0)
-                break;
-        }
-        auto admitted = pool_.admit(1, cfg_.prefill.enabled());
-        NEUPIMS_ASSERT(admitted.size() == 1);
-        Request &req = pool_.request(admitted[0]);
+        RequestId pick = nextAdmission(out);
+        if (pick == kInvalidId)
+            break;
+        pool_.admitId(pick, cfg_.prefill.enabled());
+        Request &req = pool_.request(pick);
         ChannelId ch = pickChannel(req, loads);
         if (ch == kInvalidId) {
-            // No channel can host this request's KV: put it back and
-            // stop admitting (FIFO order preserved).
-            pool_.requeue(admitted[0]);
+            // No channel can host this request's KV: put it back in
+            // the waiting queue (at its arrival-ordered position)
+            // and stop admitting; the policy re-picks next boundary.
+            // Under Fcfs this preserves FIFO order exactly.
+            pool_.requeue(pick);
+            out.admissionBlockedBy = pick;
             break;
         }
         req.channel = ch;

@@ -15,6 +15,12 @@
  * prefill-only iterations — and partitions the active decode batch
  * into two sub-batches for interleaving.
  *
+ * Every *ordering* decision the scheduler makes — admission order,
+ * prefill-token-budget sharing, victim scoring under memory pressure,
+ * restore order — is delegated to a pluggable SchedulingPolicy
+ * (runtime/sched_policy.h); the built-in Fcfs policy reproduces the
+ * historical FIFO/age-order behavior bit-for-bit.
+ *
  * KV memory pressure is a first-class, priced event rather than a
  * stall: with PreemptConfig enabled, an iteration that cannot reserve
  * the pages its decode appends and prefill slices need preempts
@@ -31,6 +37,7 @@
 #define NEUPIMS_RUNTIME_BATCH_SCHEDULER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +45,7 @@
 #include "runtime/kv_cache.h"
 #include "runtime/latency_model.h"
 #include "runtime/request_pool.h"
+#include "runtime/sched_policy.h"
 #include "runtime/sub_batch.h"
 
 namespace neupims::runtime {
@@ -87,14 +95,6 @@ enum class PreemptMode : std::uint8_t
     Swap,
 };
 
-/** How a victim is chosen among a channel's resident requests. */
-enum class VictimPolicy : std::uint8_t
-{
-    LifoYoungest,     ///< most recently (re)admitted first (vLLM-style)
-    FewestPages,      ///< cheapest to evict or transfer
-    LongestRemaining, ///< most prefill+decode work still ahead
-};
-
 struct PreemptConfig
 {
     PreemptMode mode = PreemptMode::Off;
@@ -107,11 +107,13 @@ struct PreemptConfig
     double swapBytesPerCycle() const { return swapGBps; }
 };
 
-/** Parse "off|recompute|swap" / "lifo|fewest|longest"; fatal() on
- * unknown names. */
+/** Parse "off|recompute|swap" / "legacy|whole|chunked"; fatal() on
+ * unknown names. The *Name inverses round-trip exactly (victim and
+ * scheduling-policy helpers live in runtime/sched_policy.h). */
 PreemptMode preemptModeByName(const std::string &name);
-VictimPolicy victimPolicyByName(const std::string &name);
 const char *preemptModeName(PreemptMode mode);
+PrefillPolicy prefillPolicyByName(const std::string &name);
+const char *prefillPolicyName(PrefillPolicy policy);
 
 struct SchedulerConfig
 {
@@ -121,6 +123,11 @@ struct SchedulerConfig
     MhaLatencyParams estimator;
     PrefillConfig prefill;
     PreemptConfig preempt;
+    /** Which SchedulingPolicy owns the four orderings (admission,
+     * prefill budget, victim scoring, restore) — see
+     * runtime/sched_policy.h. Fcfs reproduces the pre-policy
+     * scheduler bit-for-bit. */
+    SchedPolicyConfig policy;
 };
 
 /** One request's prefill work within an iteration. */
@@ -151,6 +158,11 @@ struct IterationSchedule
     /** Waiting-queue heads dropped because their sequence can never
      * fit a channel's KV capacity (preemption enabled only). */
     std::vector<RequestId> droppedNeverFit;
+    /** The admission pick no channel could host this boundary (it was
+     * requeued; kInvalidId if admission never blocked). Under a
+     * reordering policy this need not be the waiting-queue head — the
+     * engine's cannot-ever-place drop must target it, not the head. */
+    RequestId admissionBlockedBy = kInvalidId;
     Bytes swapOutBytes = 0; ///< victim pages moved to the host tier
     Bytes swapInBytes = 0;  ///< restored pages moved back on-device
     /** Host-link rate for pricing swap traffic (0 = no swap tier). */
@@ -202,8 +214,16 @@ class BatchScheduler
 
     const SchedulerConfig &config() const { return cfg_; }
 
-    /** Build the schedule for the next iteration. */
-    IterationSchedule scheduleIteration();
+    /** The live policy object built from config().policy. */
+    const SchedulingPolicy &policy() const { return *policy_; }
+
+    /**
+     * Build the schedule for the next iteration. @p now is the
+     * simulated clock at this boundary — the scheduling policy's
+     * aging/deadline input (time-free callers may pass 0, degrading
+     * time-aware policies to their tie-break orders).
+     */
+    IterationSchedule scheduleIteration(Cycle now = 0);
 
     /**
      * Account one completed iteration of @p schedule: every prefill
@@ -217,14 +237,39 @@ class BatchScheduler
     const PreemptStats &preemptStats() const { return preemptStats_; }
 
   private:
-    /** Pick a channel for @p req, honoring KV capacity; -1 if full. */
+    /**
+     * Policy's next admission pick from the waiting queue, dropping
+     * never-fitting picks as they surface (preemption only);
+     * kInvalidId when the queue drains. The pick is the stable
+     * minimum under admitBefore, so ties keep arrival order.
+     */
+    RequestId nextAdmission(IterationSchedule &out);
+
+    /** Channels currently hosting at least one urgent resident
+     * (policy urgency >= 0.5). */
+    std::vector<bool> urgentChannels();
+
+    /**
+     * Shared packing core: min-load (or round-robin) among channels
+     * satisfying @p room. The packer consults the policy's urgency —
+     * low-urgency requests prefer channels hosting no urgent
+     * resident, keeping urgent KV headroom without distorting the
+     * load balance.
+     */
+    template <typename Room>
+    ChannelId placeByUrgency(const Request &req,
+                             const std::vector<double> &loads,
+                             const Room &room);
+
+    /** Pick a channel for @p req, honoring KV capacity and the
+     * policy's packing urgency; -1 if full. */
     ChannelId pickChannel(const Request &req,
                           std::vector<double> &loads);
 
-    /** Min-load (or round-robin) channel with >= @p pages free
-     * beyond this iteration's reservations. */
+    /** Channel with >= @p pages free beyond this iteration's
+     * reservations, placed by packing policy + @p req's urgency. */
     ChannelId
-    pickChannelWithPages(std::int64_t pages,
+    pickChannelWithPages(const Request &req, std::int64_t pages,
                          const std::vector<double> &loads,
                          const std::vector<std::int64_t> &reserved);
 
@@ -248,9 +293,6 @@ class BatchScheduler
                           std::vector<double> &loads,
                           std::vector<std::int64_t> reserved);
 
-    /** Drop waiting-queue heads whose sequences can never fit. */
-    void dropNeverFitting(IterationSchedule &out);
-
     /**
      * Preempt victims until every channel can reserve the pages this
      * iteration's decode appends and prefill slices demand.
@@ -265,7 +307,10 @@ class BatchScheduler
     RequestPool &pool_;
     PagedKvCache &kv_;
     MhaLatencyEstimator estimator_;
+    std::unique_ptr<SchedulingPolicy> policy_;
     PreemptStats preemptStats_;
+    /** Clock of the boundary being scheduled (policy time input). */
+    Cycle now_ = 0;
     int rrCursor_ = 0;
 };
 

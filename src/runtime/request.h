@@ -52,6 +52,17 @@ struct Request
     RequestStatus status = RequestStatus::Waiting;
     RequestPhase phase = RequestPhase::Prefill;
 
+    // --- scheduling-policy inputs (runtime/sched_policy.h) ----------
+    /** Priority class, higher = more important. 0 is the default
+     * class; the Fcfs policy ignores it entirely. */
+    int priorityClass = 0;
+    /** Per-request TTFT target in cycles (0 = none; SLO-aware
+     * policies and per-class attainment fall back to the configured
+     * default). */
+    Cycle ttftSlo = 0;
+    /** Per-generated-token target in cycles (0 = none). */
+    Cycle tptSlo = 0;
+
     // --- serving timeline (simulated cycles; kCycleMax = not yet) ----
     Cycle arrivalCycle = 0;           ///< entered the request pool
     Cycle admitCycle = kCycleMax;     ///< joined the running batch

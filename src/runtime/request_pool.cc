@@ -7,13 +7,17 @@
 namespace neupims::runtime {
 
 RequestId
-RequestPool::submit(int input_length, int output_length)
+RequestPool::submit(int input_length, int output_length,
+                    int priority_class, Cycle ttft_slo, Cycle tpt_slo)
 {
     NEUPIMS_ASSERT(input_length >= 1 && output_length >= 1);
     Request req;
     req.id = static_cast<RequestId>(all_.size());
     req.inputLength = input_length;
     req.outputLength = output_length;
+    req.priorityClass = priority_class;
+    req.ttftSlo = ttft_slo;
+    req.tptSlo = tpt_slo;
     all_.push_back(req);
     waiting_.push_back(req.id);
     return req.id;
@@ -21,9 +25,11 @@ RequestPool::submit(int input_length, int output_length)
 
 RequestId
 RequestPool::submitAt(Cycle arrival, int input_length,
-                      int output_length)
+                      int output_length, int priority_class,
+                      Cycle ttft_slo, Cycle tpt_slo)
 {
-    RequestId id = submit(input_length, output_length);
+    RequestId id = submit(input_length, output_length, priority_class,
+                          ttft_slo, tpt_slo);
     all_[id].arrivalCycle = arrival;
     // submit() queued it as already-waiting; take it back out and
     // park it until the clock reaches its arrival.
@@ -57,16 +63,33 @@ RequestPool::admit(std::size_t max_new, bool prefill)
     std::vector<RequestId> admitted;
     while (admitted.size() < max_new && !waiting_.empty()) {
         RequestId id = waiting_.front();
-        waiting_.pop_front();
-        all_[id].status = RequestStatus::Running;
-        if (prefill)
-            all_[id].beginPrefill();
-        else
-            all_[id].skipPrefill();
-        running_.push_back(id);
+        admitId(id, prefill);
         admitted.push_back(id);
     }
     return admitted;
+}
+
+void
+RequestPool::admitId(RequestId id, bool prefill)
+{
+    auto it = std::find(waiting_.begin(), waiting_.end(), id);
+    NEUPIMS_ASSERT(it != waiting_.end(), "request not waiting: ", id);
+    waiting_.erase(it);
+    all_[id].status = RequestStatus::Running;
+    if (prefill)
+        all_[id].beginPrefill();
+    else
+        all_[id].skipPrefill();
+    running_.push_back(id);
+}
+
+void
+RequestPool::dropWaiting(RequestId id)
+{
+    auto it = std::find(waiting_.begin(), waiting_.end(), id);
+    NEUPIMS_ASSERT(it != waiting_.end(), "request not waiting: ", id);
+    waiting_.erase(it);
+    all_[id].status = RequestStatus::Dropped;
 }
 
 void
@@ -76,7 +99,13 @@ RequestPool::requeue(RequestId id)
     NEUPIMS_ASSERT(it != running_.end(), "request not running: ", id);
     running_.erase(it);
     all_[id].status = RequestStatus::Waiting;
-    waiting_.push_front(id);
+    // Reinsert at the arrival-ordered position (waiting_ is always
+    // id-sorted: arrivals release in (arrival, id) order and ids are
+    // assigned in submission order), preserving the waitingIds()
+    // order contract policies tie-break against. A requeued head —
+    // the only case Fcfs produces — lands back at the front.
+    waiting_.insert(
+        std::lower_bound(waiting_.begin(), waiting_.end(), id), id);
 }
 
 RequestId

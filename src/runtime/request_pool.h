@@ -20,8 +20,15 @@ namespace neupims::runtime {
 class RequestPool
 {
   public:
-    /** Submit a new request; returns its id. */
-    RequestId submit(int input_length, int output_length);
+    /**
+     * Submit a new request; returns its id. @p priority_class and the
+     * SLO targets are scheduling-policy inputs (runtime/sched_policy.h)
+     * stamped onto the request verbatim; the defaults reproduce a
+     * classless, target-less request.
+     */
+    RequestId submit(int input_length, int output_length,
+                     int priority_class = 0, Cycle ttft_slo = 0,
+                     Cycle tpt_slo = 0);
 
     /**
      * Submit a request that arrives at simulated cycle @p arrival. It
@@ -31,7 +38,8 @@ class RequestPool
      * always time-ordered (ties broken by submission order).
      */
     RequestId submitAt(Cycle arrival, int input_length,
-                       int output_length);
+                       int output_length, int priority_class = 0,
+                       Cycle ttft_slo = 0, Cycle tpt_slo = 0);
 
     /**
      * Move every pending request with arrivalCycle <= @p now into the
@@ -64,9 +72,27 @@ class RequestPool
                                  bool prefill = false);
 
     /**
-     * Undo an admission: move a just-admitted request back to the
-     * head of the waiting queue (used when no channel can host its
-     * KV cache this iteration).
+     * Admit one specific waiting request (scheduling policies pick
+     * admission order; Fcfs always picks the head, reproducing
+     * admit(1)). @pre @p id is in the waiting queue.
+     */
+    void admitId(RequestId id, bool prefill);
+
+    /** The waiting queue, admission (arrival) order. */
+    const std::deque<RequestId> &waitingIds() const { return waiting_; }
+
+    /**
+     * Reject a specific waiting request (the policy's admission pick
+     * can never be placed, e.g. its sequence exceeds every channel's
+     * KV capacity). @pre @p id is in the waiting queue.
+     */
+    void dropWaiting(RequestId id);
+
+    /**
+     * Undo an admission: move a just-admitted request back into the
+     * waiting queue at its arrival-ordered position (used when no
+     * channel can host its KV cache this iteration; a requeued head
+     * returns to the head).
      */
     void requeue(RequestId id);
 

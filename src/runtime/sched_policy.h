@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Pluggable scheduling-policy API for the Orca-style batch scheduler.
+ *
+ * The scheduler makes four ordering decisions every iteration
+ * boundary; this interface owns all of them, so a policy swaps in as
+ * one object instead of one config knob per scenario:
+ *
+ *  1. *Admission order* over the waiting queue — which waiting
+ *     request is admitted next while KV room lasts.
+ *  2. *Pressure order* (`outranks`) — one strict total order shared by
+ *     the per-iteration prefill-token-budget sharing AND the
+ *     memory-pressure resolution: demands resolve in this order, and a
+ *     demander may only evict victims it strictly outranks. Sharing
+ *     one order is what keeps preemption livelock-free (see DESIGN.md
+ *     §8): the top-ranked request on a channel can evict every other
+ *     resident, so every boundary makes progress.
+ *  3. *Victim scoring* — which of the eligible (strictly outranked)
+ *     residents is evicted first. The legacy VictimPolicy enum
+ *     survives as a thin adapter over this hook (victimScoreFor).
+ *  4. *Restore order* over the preempted queue.
+ *
+ * plus a per-request *urgency* score in [0, 1] the channel packer
+ * consults: requests below 0.5 min-load-pack among channels hosting
+ * no urgent resident (falling back to all channels), keeping urgent
+ * requests' channels free of co-located pressure without distorting
+ * the load balance; requests at or above 0.5 take the plain min-load
+ * channel (Algorithm 2).
+ *
+ * Three built-in policies ship behind schedulingPolicyByName:
+ *
+ *  - Fcfs: reproduces the pre-policy scheduler bit-for-bit (admission
+ *    FIFO, budget/pressure by submission age, restore FIFO, urgency
+ *    1.0 everywhere). Locked by an explicit golden identity test.
+ *  - PriorityClass: strict classes (higher = more important) with
+ *    configurable aging — waiting promotes a request one effective
+ *    class per agingCycles, so low classes cannot starve.
+ *  - SloEdf: earliest-deadline-first on per-request TTFT targets
+ *    while a request has not produced its first token, falling back
+ *    to least-slack on the per-token target during decode.
+ */
+
+#ifndef NEUPIMS_RUNTIME_SCHED_POLICY_H_
+#define NEUPIMS_RUNTIME_SCHED_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "runtime/request.h"
+
+namespace neupims::runtime {
+
+/** How a victim is chosen among a channel's eligible residents. */
+enum class VictimPolicy : std::uint8_t
+{
+    LifoYoungest,     ///< most recently (re)admitted first (vLLM-style)
+    FewestPages,      ///< cheapest to evict or transfer
+    LongestRemaining, ///< most prefill+decode work still ahead
+};
+
+/** The built-in scheduling policies. */
+enum class SchedPolicyKind : std::uint8_t
+{
+    Fcfs,          ///< submission order everywhere (legacy behavior)
+    PriorityClass, ///< strict classes with anti-starvation aging
+    SloEdf,        ///< TTFT-deadline EDF, least-slack during decode
+};
+
+/** Parse "lifo|fewest|longest" / "fcfs|priority|edf"; fatal() on
+ * unknown names. The *Name inverses round-trip exactly. */
+VictimPolicy victimPolicyByName(const std::string &name);
+const char *victimPolicyName(VictimPolicy policy);
+SchedPolicyKind schedulingPolicyByName(const std::string &name);
+const char *schedulingPolicyName(SchedPolicyKind kind);
+
+struct SchedPolicyConfig
+{
+    SchedPolicyKind kind = SchedPolicyKind::Fcfs;
+    /**
+     * PriorityClass anti-starvation aging: every agingCycles a request
+     * has been in the system raises its effective class by one, so a
+     * perpetually outranked request eventually outranks everything
+     * that arrived after it. 0 disables aging (strict classes).
+     */
+    Cycle agingCycles = 50'000'000; // 50 ms
+    /** Fallback SLO targets for requests that carry none of their
+     * own (SloEdf deadlines, per-class attainment reporting). */
+    Cycle defaultTtftSlo = 250'000'000; // 250 ms to first token
+    Cycle defaultTptSlo = 25'000'000;   // 25 ms per generated token
+};
+
+/**
+ * The victim ordering the legacy VictimPolicy enum encodes, as a
+ * score: among eligible candidates the scheduler evicts the highest
+ * score, resolving ties toward the most recently (re)admitted — which
+ * makes LifoYoungest exactly a constant score.
+ */
+double victimScoreFor(VictimPolicy policy, const Request &req,
+                      std::int64_t pages_held);
+
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Admission order: true if @p a should be admitted strictly
+     * before @p b. A strict weak ordering; ties keep waiting-queue
+     * (arrival) order.
+     */
+    virtual bool admitBefore(const Request &a, const Request &b,
+                             Cycle now) const = 0;
+
+    /**
+     * Whether admitBefore can ever prefer a non-head request. A
+     * policy that admits in plain arrival order returns false and the
+     * scheduler pops the waiting-queue head without scanning it.
+     */
+    virtual bool reordersAdmission() const { return true; }
+
+    /**
+     * Pressure order: true if @p a strictly outranks @p b. MUST be a
+     * strict total order over live requests (break ties by id). The
+     * scheduler hands the prefill token budget out in this order,
+     * resolves page demands in this order, and lets a demander evict
+     * only requests it strictly outranks — the livelock-freedom
+     * obligation (DESIGN.md §8).
+     */
+    virtual bool outranks(const Request &a, const Request &b,
+                          Cycle now) const = 0;
+
+    /**
+     * Victim preference among eligible candidates: the highest score
+     * is evicted first (ties toward the most recently (re)admitted).
+     * @p pages_held is the candidate's device page count.
+     */
+    virtual double victimScore(const Request &req,
+                               std::int64_t pages_held,
+                               Cycle now) const = 0;
+
+    /**
+     * Restore order over the preempted queue: true if @p a should be
+     * restored strictly before @p b. Ties keep eviction (FIFO) order.
+     */
+    virtual bool restoreBefore(const Request &a, const Request &b,
+                               Cycle now) const = 0;
+
+    /**
+     * Packing urgency in [0, 1]. Below 0.5 the packer min-load-packs
+     * the request among channels hosting no urgent (>= 0.5) resident,
+     * falling back to all channels with KV room; at or above it takes
+     * the plain min-load channel.
+     */
+    virtual double urgency(const Request &req, Cycle now) const = 0;
+};
+
+/**
+ * Factory for the built-in policies. @p victim parameterizes Fcfs
+ * victim scoring (and tie-breaks PriorityClass's class-major score),
+ * preserving the --victim surface.
+ */
+std::unique_ptr<SchedulingPolicy>
+makeSchedulingPolicy(const SchedPolicyConfig &cfg, VictimPolicy victim);
+
+} // namespace neupims::runtime
+
+#endif // NEUPIMS_RUNTIME_SCHED_POLICY_H_

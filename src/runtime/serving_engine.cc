@@ -1,6 +1,7 @@
 #include "runtime/serving_engine.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/log.h"
 
@@ -13,6 +14,17 @@ ServingReport::tokensPerSecond() const
         return 0.0;
     return static_cast<double>(generatedTokens) /
            cyclesToSeconds(makespanCycles);
+}
+
+const ClassServingReport &
+ServingReport::classReport(int priority_class) const
+{
+    static const ClassServingReport kEmpty;
+    for (const auto &c : classes) {
+        if (c.priorityClass == priority_class)
+            return c;
+    }
+    return kEmpty;
 }
 
 ServingEngine::ServingEngine(const ServingConfig &cfg,
@@ -35,7 +47,8 @@ ServingEngine::run()
     // so it can be drained into the pool's time-ordered pending queue
     // up front.
     while (auto ev = traffic_.next()) {
-        pool_.submitAt(ev->time, ev->inputLength, ev->outputLength);
+        pool_.submitAt(ev->time, ev->inputLength, ev->outputLength,
+                       ev->priorityClass, ev->ttftSlo, ev->tptSlo);
         ++report.requestsSubmitted;
     }
 
@@ -43,6 +56,10 @@ ServingEngine::run()
     Cycle now = 0;
     int iteration = 0;
     std::uint64_t batchSum = 0;
+    // Never-fit drops can land at boundaries whose schedule carries
+    // no priceable work (no trace row); carry them into the next
+    // recorded row so the trace surfaces every drop.
+    int pendingDrops = 0;
     while (true) {
         pool_.releaseArrivals(now);
 
@@ -56,8 +73,10 @@ ServingEngine::run()
             continue;
         }
 
-        auto schedule = scheduler_.scheduleIteration();
+        auto schedule = scheduler_.scheduleIteration(now);
         report.requestsDropped +=
+            static_cast<int>(schedule.droppedNeverFit.size());
+        pendingDrops +=
             static_cast<int>(schedule.droppedNeverFit.size());
 
         // Boundary bookkeeping happens at `now` whether or not the
@@ -96,11 +115,16 @@ ServingEngine::run()
                                pool_.preemptedCount());
                 continue;
             }
-            // Nothing running and the head waiting request cannot be
-            // placed on any channel even with the device empty — it
-            // can never be served. Reject it rather than livelock.
+            // Nothing running and the policy's admission pick cannot
+            // be placed on any channel even with the device empty —
+            // it can never be served. Reject exactly the blocking
+            // request (under a reordering policy it need not be the
+            // waiting-queue head) rather than livelock.
             NEUPIMS_ASSERT(pool_.waitingCount() > 0);
-            pool_.dropWaitingHead();
+            if (schedule.admissionBlockedBy != kInvalidId)
+                pool_.dropWaiting(schedule.admissionBlockedBy);
+            else
+                pool_.dropWaitingHead();
             ++report.requestsDropped;
             continue;
         }
@@ -157,6 +181,7 @@ ServingEngine::run()
             row.prefillTokens = prefill_tokens;
             row.admitted = schedule.admitted;
             row.retired = retired;
+            row.dropped = pendingDrops;
             row.waiting = static_cast<int>(pool_.waitingCount());
             row.maxChannelLoad = max_load;
             row.kvUtilization = kv_.utilization();
@@ -170,6 +195,7 @@ ServingEngine::run()
             row.swapInBytes = schedule.swapInBytes;
             trace_.push_back(row);
         }
+        pendingDrops = 0;
 
         report.prefilledTokens +=
             static_cast<std::uint64_t>(prefill_tokens);
@@ -215,11 +241,29 @@ ServingEngine::run()
     // never fold into the percentiles: TTFT (and its decomposition)
     // covers every request that produced a first token, end-to-end
     // only the finished ones.
+    // Per-class accumulators alongside the run-wide stats; the SLO
+    // targets fall back to the scheduler policy's defaults so
+    // attainment is always well-defined.
+    struct ClassAccum
+    {
+        ClassServingReport rep;
+        int ttftOk = 0, ttftSamples = 0;
+        int tptOk = 0, tptSamples = 0;
+    };
+    std::map<int, ClassAccum> perClass;
+    const Cycle defaultTtftSlo = cfg_.scheduler.policy.defaultTtftSlo;
+    const Cycle defaultTptSlo = cfg_.scheduler.policy.defaultTptSlo;
+
     for (RequestId id = 0;
          id < static_cast<RequestId>(report.requestsSubmitted); ++id) {
         const Request &req = pool_.request(id);
+        ClassAccum &cls = perClass[req.priorityClass];
+        ++cls.rep.submitted;
+        if (req.status == RequestStatus::Dropped)
+            ++cls.rep.dropped;
         if (req.preemptions > 0) {
             ++report.requestsPreempted;
+            ++cls.rep.preempted;
             if (req.status == RequestStatus::Done)
                 report.preemptedUs.record(
                     cyclesToMicros(req.preemptedCycles));
@@ -232,16 +276,46 @@ ServingEngine::run()
                 cyclesToMicros(req.prefillLatency()));
             report.firstDecodeUs.record(
                 cyclesToMicros(req.firstDecodeLatency()));
+            cls.rep.ttftUs.record(cyclesToMicros(req.ttft()));
+            Cycle target = req.ttftSlo ? req.ttftSlo : defaultTtftSlo;
+            ++cls.ttftSamples;
+            if (req.ttft() <= target)
+                ++cls.ttftOk;
         }
         if (req.status != RequestStatus::Done ||
             req.finishCycle == kCycleMax)
             continue;
-        report.e2eUs.record(cyclesToMicros(req.endToEnd()));
-        report.perTokenMs.record(
-            cyclesToMicros(req.endToEnd()) * 1e-3 /
-            static_cast<double>(req.outputLength));
-        if (req.outputLength > 1)
+        ++cls.rep.completed;
+        double e2e_us = cyclesToMicros(req.endToEnd());
+        double per_token_ms =
+            e2e_us * 1e-3 / static_cast<double>(req.outputLength);
+        report.e2eUs.record(e2e_us);
+        report.perTokenMs.record(per_token_ms);
+        cls.rep.e2eUs.record(e2e_us);
+        cls.rep.perTokenMs.record(per_token_ms);
+        Cycle tpt_target = req.tptSlo ? req.tptSlo : defaultTptSlo;
+        ++cls.tptSamples;
+        if (req.endToEnd() <=
+            tpt_target * static_cast<Cycle>(req.outputLength))
+            ++cls.tptOk;
+        if (req.outputLength > 1) {
             report.tbtUs.record(req.timeBetweenTokens() * 1e-3);
+            cls.rep.tbtUs.record(req.timeBetweenTokens() * 1e-3);
+        }
+    }
+
+    for (auto &entry : perClass) {
+        ClassAccum &cls = entry.second;
+        cls.rep.priorityClass = entry.first;
+        if (cls.ttftSamples > 0)
+            cls.rep.ttftAttainment =
+                static_cast<double>(cls.ttftOk) /
+                static_cast<double>(cls.ttftSamples);
+        if (cls.tptSamples > 0)
+            cls.rep.tptAttainment =
+                static_cast<double>(cls.tptOk) /
+                static_cast<double>(cls.tptSamples);
+        report.classes.push_back(std::move(cls.rep));
     }
     return report;
 }

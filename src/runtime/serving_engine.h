@@ -74,6 +74,10 @@ struct IterationTraceRow
     int prefillTokens = 0;     ///< prompt tokens prefilled
     int admitted = 0;
     int retired = 0;
+    /** Waiting requests rejected at this boundary because their
+     * sequence can never fit a channel's KV capacity (preemption
+     * enabled only; 0 otherwise). */
+    int dropped = 0;
     int waiting = 0; ///< waiting count after admission
     double maxChannelLoad = 0.0; ///< Algorithm-1 estimate (cycles)
     double kvUtilization = 0.0;
@@ -83,6 +87,37 @@ struct IterationTraceRow
     int preemptedPool = 0;   ///< evictees still parked afterwards
     Bytes swapOutBytes = 0;  ///< swap traffic priced into the iteration
     Bytes swapInBytes = 0;
+};
+
+/**
+ * One priority class's slice of a serving run: request accounting,
+ * latency distributions and SLO attainment, all restricted to the
+ * requests submitted with that class. Classless runs report a single
+ * class 0 covering everything.
+ */
+struct ClassServingReport
+{
+    int priorityClass = 0;
+    int submitted = 0;
+    int completed = 0;
+    int dropped = 0;
+    int preempted = 0; ///< distinct requests evicted at least once
+
+    /** Same units/sampling rules as the run-wide stats below. */
+    LatencyStats ttftUs;
+    LatencyStats e2eUs;
+    LatencyStats tbtUs;
+    LatencyStats perTokenMs;
+
+    /**
+     * Fraction of first-token-producing requests meeting their TTFT
+     * target (the request's own ttftSlo, falling back to the
+     * scheduler policy's default), and of finished requests whose
+     * mean per-token latency meets the per-token target. 1.0 with no
+     * samples.
+     */
+    double ttftAttainment = 1.0;
+    double tptAttainment = 1.0;
 };
 
 /** Everything a serving run produced. */
@@ -140,8 +175,15 @@ struct ServingReport
      * the request-size-independent SLO metric. */
     LatencyStats perTokenMs;
 
+    /** Per-priority-class breakdown, ascending class id. Always has
+     * at least one entry for a run that submitted requests. */
+    std::vector<ClassServingReport> classes;
+
     /** Generation throughput over the makespan. */
     double tokensPerSecond() const;
+
+    /** The breakdown of @p priority_class (an empty one if unseen). */
+    const ClassServingReport &classReport(int priority_class) const;
 };
 
 class ServingEngine

@@ -35,6 +35,64 @@ TrafficModel::drain()
     return out;
 }
 
+void
+TrafficModel::setClassMix(const ClassMix &mix, std::uint64_t seed)
+{
+    mix_ = mix;
+    shareSum_ = 0.0;
+    for (const auto &spec : mix_) {
+        NEUPIMS_ASSERT(spec.share > 0.0,
+                       "class-mix shares must be positive");
+        shareSum_ += spec.share;
+    }
+    classRng_ = Rng(seed ^ 0xc1a55e5ULL);
+}
+
+void
+TrafficModel::stampClass(ArrivalEvent &ev)
+{
+    if (mix_.empty())
+        return;
+    // Independent RNG stream: stamping classes never perturbs the
+    // gap/length draws, so a mixless run stays byte-identical.
+    double u = classRng_.uniform() * shareSum_;
+    const PriorityClassSpec *spec = &mix_.back();
+    for (const auto &s : mix_) {
+        if (u < s.share) {
+            spec = &s;
+            break;
+        }
+        u -= s.share;
+    }
+    ev.priorityClass = spec->priorityClass;
+    // ms -> cycles at the 1 GHz domain (1 ms == 1e6 cycles).
+    ev.ttftSlo = static_cast<Cycle>(spec->ttftSloMs * 1e6);
+    ev.tptSlo = static_cast<Cycle>(spec->tptSloMs * 1e6);
+}
+
+ClassMix
+classMixByName(const std::string &name)
+{
+    if (name == "uniform")
+        return {PriorityClassSpec{0, 1.0, 0.0, 0.0}};
+    if (name == "two-tier") {
+        // Interactive quarter with tight targets over a bulk tier —
+        // the canonical over-capacity differentiation scenario (the
+        // 100 ms TTFT target sits between what the policies achieve
+        // for the high class under 2x over-capacity load, so
+        // attainment separates them).
+        return {PriorityClassSpec{1, 0.25, 100.0, 20.0},
+                PriorityClassSpec{0, 0.75, 1000.0, 50.0}};
+    }
+    if (name == "three-tier") {
+        return {PriorityClassSpec{2, 0.10, 100.0, 15.0},
+                PriorityClassSpec{1, 0.30, 400.0, 30.0},
+                PriorityClassSpec{0, 0.60, 2000.0, 100.0}};
+    }
+    fatal("unknown class mix '", name,
+          "' (expected uniform|two-tier|three-tier)");
+}
+
 // --- Poisson ---------------------------------------------------------------
 
 PoissonTraffic::PoissonTraffic(const DatasetConfig &dataset,
@@ -57,8 +115,10 @@ PoissonTraffic::next()
         u = 0x1.0p-53;
     now_ += -std::log(u) * cyclesPerArrival_;
     auto s = gen_.sample();
-    return ArrivalEvent{static_cast<Cycle>(now_), s.inputLength,
-                        s.outputLength};
+    ArrivalEvent ev{static_cast<Cycle>(now_), s.inputLength,
+                    s.outputLength};
+    stampClass(ev);
+    return ev;
 }
 
 // --- Bursty (Gamma) --------------------------------------------------------
@@ -116,8 +176,10 @@ BurstyTraffic::next()
     // while shape < 1 piles probability mass near zero (bursts).
     now_ += sampleGamma() * (cyclesPerArrival_ / shape_);
     auto s = gen_.sample();
-    return ArrivalEvent{static_cast<Cycle>(now_), s.inputLength,
-                        s.outputLength};
+    ArrivalEvent ev{static_cast<Cycle>(now_), s.inputLength,
+                    s.outputLength};
+    stampClass(ev);
+    return ev;
 }
 
 // --- Replay ----------------------------------------------------------------
@@ -216,7 +278,9 @@ ReplayTraffic::next()
 {
     if (cursor_ >= events_.size())
         return std::nullopt;
-    return events_[cursor_++];
+    ArrivalEvent ev = events_[cursor_++];
+    stampClass(ev);
+    return ev;
 }
 
 // --- Factory ---------------------------------------------------------------

@@ -45,7 +45,34 @@ struct ArrivalEvent
     Cycle time = 0; ///< arrival cycle (1 cycle == 1 ns)
     int inputLength = 1;
     int outputLength = 1;
+    // --- scheduling-policy inputs (0 = classless / no target) -------
+    int priorityClass = 0;
+    Cycle ttftSlo = 0; ///< per-request TTFT target (cycles)
+    Cycle tptSlo = 0;  ///< per-generated-token target (cycles)
 };
+
+/**
+ * One priority class's share of an arrival mix: the fraction of
+ * requests stamped with this class and the SLO targets they carry
+ * (0 = no per-request target; policies fall back to defaults).
+ */
+struct PriorityClassSpec
+{
+    int priorityClass = 0;
+    double share = 1.0;
+    double ttftSloMs = 0.0;
+    double tptSloMs = 0.0;
+};
+
+using ClassMix = std::vector<PriorityClassSpec>;
+
+/**
+ * Standard mixes by name — "uniform" (single classless tier),
+ * "two-tier" (25% interactive class 1 with tight targets over a 75%
+ * class-0 bulk tier), "three-tier" (10/30/60 interactive/standard/
+ * batch) — fatal() on unknown names.
+ */
+ClassMix classMixByName(const std::string &name);
 
 class TrafficModel
 {
@@ -62,6 +89,24 @@ class TrafficModel
 
     /** Drain the remaining arrivals into a vector. */
     std::vector<ArrivalEvent> drain();
+
+    /**
+     * Stamp every subsequent arrival with a priority class drawn from
+     * @p mix (shares normalized over their sum; deterministic under
+     * @p seed, on an RNG stream independent of the gap/length
+     * streams — an empty or single-default mix leaves arrivals
+     * byte-identical to a mixless model).
+     */
+    void setClassMix(const ClassMix &mix, std::uint64_t seed);
+
+  protected:
+    /** Apply the mix (if any) to @p ev; called by next(). */
+    void stampClass(ArrivalEvent &ev);
+
+  private:
+    ClassMix mix_;
+    double shareSum_ = 0.0;
+    Rng classRng_;
 };
 
 /** Open-loop Poisson arrivals at @p requests_per_second. */

@@ -95,6 +95,57 @@ summaryLine(const runtime::ServingReport &report)
     return line;
 }
 
+/** The phase-model trace block: header + 12-column rows. */
+std::string
+phaseTraceRows(const runtime::ServingEngine &engine)
+{
+    std::string out =
+        "# iter,start,cycles,batch,prefilling,prefilltok,"
+        "admitted,retired,dropped,waiting,maxload,kvutil\n";
+    char line[256];
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%d,%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.prefilling, row.prefillTokens,
+            row.admitted, row.retired, row.dropped, row.waiting,
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    return out;
+}
+
+/** The memory-pressure trace block: header + 17-column rows. */
+std::string
+pressureTraceRows(const runtime::ServingEngine &engine)
+{
+    std::string out =
+        "# iter,start,cycles,batch,prefilling,prefilltok,"
+        "admitted,retired,dropped,waiting,preempted,restored,"
+        "parked,swapoutKiB,swapinKiB,maxload,kvutil\n";
+    char line[320];
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%llu,%llu,"
+            "%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.prefilling, row.prefillTokens,
+            row.admitted, row.retired, row.dropped, row.waiting,
+            row.preempted, row.restored, row.preemptedPool,
+            static_cast<unsigned long long>(row.swapOutBytes >> 10),
+            static_cast<unsigned long long>(row.swapInBytes >> 10),
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    return out;
+}
+
 /** Phase-model serialization: decode batch + prefill columns. */
 std::string
 serializeServingRun(const GoldenServingCase &c)
@@ -106,21 +157,7 @@ serializeServingRun(const GoldenServingCase &c)
     auto report = engine.run();
 
     std::string out = caseHeader(c);
-    out += "# iter,start,cycles,batch,prefilling,prefilltok,"
-           "admitted,retired,waiting,maxload,kvutil\n";
-    char line[256];
-    for (const auto &row : engine.trace()) {
-        std::snprintf(
-            line, sizeof(line),
-            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%.6g,%.6f\n",
-            row.iteration,
-            static_cast<unsigned long long>(row.startCycle),
-            static_cast<unsigned long long>(row.iterationCycles),
-            row.batch, row.prefilling, row.prefillTokens,
-            row.admitted, row.retired, row.waiting,
-            row.maxChannelLoad, row.kvUtilization);
-        out += line;
-    }
+    out += phaseTraceRows(engine);
     out += summaryLine(report);
     return out;
 }
@@ -207,9 +244,10 @@ serializePreemptRun(const GoldenServingCase &c,
         runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
     auto latency = core::makeIterationModel(backend.device, llm);
     auto cfg = core::servingConfigFor(backend.device, llm);
-    core::scaleKvCapacity(cfg, 6);
-    core::applyPreemptConfig(
-        cfg, runtime::preemptModeName(mode), "lifo", 64.0);
+    core::ServingOptions opt;
+    opt.preempt = runtime::preemptModeName(mode);
+    opt.kvScale = 6;
+    core::applyServingOptions(cfg, opt);
     cfg.maxIterations = 400;
     runtime::ServingEngine engine(cfg, *traffic, *latency);
     auto report = engine.run();
@@ -218,27 +256,9 @@ serializePreemptRun(const GoldenServingCase &c,
     out += "# preempt=";
     out += runtime::preemptModeName(mode);
     out += " victim=lifo swap=64GB/s kvscale=6 maxlen=320\n";
-    out += "# iter,start,cycles,batch,prefilling,prefilltok,"
-           "admitted,retired,waiting,preempted,restored,parked,"
-           "swapoutKiB,swapinKiB,maxload,kvutil\n";
-    char line[320];
-    for (const auto &row : engine.trace()) {
-        std::snprintf(
-            line, sizeof(line),
-            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%d,%d,%d,%llu,%llu,"
-            "%.6g,%.6f\n",
-            row.iteration,
-            static_cast<unsigned long long>(row.startCycle),
-            static_cast<unsigned long long>(row.iterationCycles),
-            row.batch, row.prefilling, row.prefillTokens,
-            row.admitted, row.retired, row.waiting, row.preempted,
-            row.restored, row.preemptedPool,
-            static_cast<unsigned long long>(row.swapOutBytes >> 10),
-            static_cast<unsigned long long>(row.swapInBytes >> 10),
-            row.maxChannelLoad, row.kvUtilization);
-        out += line;
-    }
+    out += pressureTraceRows(engine);
     out += summaryLine(report);
+    char line[320];
     std::snprintf(
         line, sizeof(line),
         "# pressure preemptions=%llu restores=%llu "
@@ -289,9 +309,10 @@ TEST(GoldenServingTrace, OverCapacityRunsSustainWithoutDrops)
         auto traffic = runtime::makeTraffic("poisson", ds, 270.0, 96, 7);
         auto latency = core::makeIterationModel(backend.device, llm);
         auto cfg = core::servingConfigFor(backend.device, llm);
-        core::scaleKvCapacity(cfg, 6);
-        core::applyPreemptConfig(
-            cfg, runtime::preemptModeName(mode), "lifo", 64.0);
+        core::ServingOptions opt;
+        opt.preempt = runtime::preemptModeName(mode);
+        opt.kvScale = 6;
+        core::applyServingOptions(cfg, opt);
         runtime::ServingEngine engine(cfg, *traffic, *latency);
         auto report = engine.run();
         EXPECT_EQ(report.requestsDropped, 0)
@@ -331,31 +352,133 @@ TEST(GoldenServingTrace, ExplicitPreemptOffMatchesExistingGolden)
     latency = core::makeIterationModel(backend.device, llm);
     auto cfg = core::servingConfigFor(backend.device, llm);
     cfg.scheduler.prefill.policy = runtime::PrefillPolicy::Chunked;
-    core::applyPreemptConfig(cfg, "off", "fewest", 8.0);
+    core::ServingOptions opt;
+    opt.preempt = "off";
+    opt.victim = "fewest";
+    opt.swapGbps = 8.0;
+    core::applyServingOptions(cfg, opt);
     cfg.maxIterations = 400;
     runtime::ServingEngine engine(cfg, *traffic, *latency);
     auto report = engine.run();
 
     std::string out = caseHeader(c);
-    out += "# iter,start,cycles,batch,prefilling,prefilltok,"
-           "admitted,retired,waiting,maxload,kvutil\n";
-    char line[256];
-    for (const auto &row : engine.trace()) {
-        std::snprintf(
-            line, sizeof(line),
-            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%.6g,%.6f\n",
-            row.iteration,
-            static_cast<unsigned long long>(row.startCycle),
-            static_cast<unsigned long long>(row.iterationCycles),
-            row.batch, row.prefilling, row.prefillTokens,
-            row.admitted, row.retired, row.waiting,
-            row.maxChannelLoad, row.kvUtilization);
-        out += line;
-    }
+    out += phaseTraceRows(engine);
     out += summaryLine(report);
     // Compare only (never regenerate through this test): the file is
     // owned by the canonical phase-model case above.
     EXPECT_EQ(out, testing::readGolden(c.file));
+}
+
+/**
+ * Fcfs identity: explicitly configuring the Fcfs scheduling policy
+ * (with a uniform class mix stamped onto the traffic, non-default
+ * aging/SLO knobs, and the full ServingOptions wiring) must
+ * reproduce the canonical phase-model golden byte-for-byte — the
+ * pluggable-policy refactor is invisible until a non-Fcfs policy is
+ * selected. This is the semantic anchor of the policy API.
+ */
+TEST(GoldenServingTrace, ExplicitFcfsPolicyMatchesExistingGolden)
+{
+    GoldenServingCase c{"serving_neupims_sbi_poisson_sharegpt.txt",
+                        "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0,
+                        64};
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    traffic->setClassMix(runtime::classMixByName("uniform"), 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::ServingOptions opt;
+    opt.policy = "fcfs";
+    opt.agingMs = 1.0;     // Fcfs ignores every policy knob
+    opt.sloTtftMs = 10.0;
+    opt.sloTptMs = 1.0;
+    core::applyServingOptions(cfg, opt);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += phaseTraceRows(engine);
+    out += summaryLine(report);
+    // Compare only (never regenerate through this test): the file is
+    // owned by the canonical phase-model case above.
+    EXPECT_EQ(out, testing::readGolden(c.file));
+}
+
+// --- scheduling-policy goldens ---------------------------------------------
+
+/**
+ * Priority/SLO scheduling under sustained over-capacity pressure: the
+ * recompute-preemption scenario (KV/6, clamped lengths) at 2x the
+ * canonical rate with a two-tier class mix, once per non-Fcfs
+ * policy. The trace pins
+ * every ordering the policy owns (admission, prefill budget, victim
+ * choice, restores); the footer pins the per-class latency split and
+ * SLO attainment the policy exists to move.
+ */
+const GoldenServingCase kPolicyCase{
+    nullptr, "NeuPIMs+SBI", "poisson", "ShareGPT", 540.0, 96};
+
+std::string
+serializePolicyRun(const GoldenServingCase &c, const char *policy,
+                   const char *mix)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    ds.maxLength = 320; // input+output always fits a shrunk channel
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    traffic->setClassMix(runtime::classMixByName(mix), 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::ServingOptions opt;
+    opt.preempt = "recompute";
+    opt.policy = policy;
+    opt.kvScale = 6;
+    core::applyServingOptions(cfg, opt);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# policy=";
+    out += policy;
+    out += " classes=";
+    out += mix;
+    out += " preempt=recompute victim=lifo kvscale=6 maxlen=320\n";
+    out += pressureTraceRows(engine);
+    out += summaryLine(report);
+    char line[320];
+    for (const auto &cls : report.classes) {
+        std::snprintf(
+            line, sizeof(line),
+            "# class %d submitted=%d completed=%d dropped=%d "
+            "preempted=%d ttftP95us=%.1f e2eP95us=%.1f "
+            "sloTtft=%.4f sloTpt=%.4f\n",
+            cls.priorityClass, cls.submitted, cls.completed,
+            cls.dropped, cls.preempted, cls.ttftUs.p95(),
+            cls.e2eUs.p95(), cls.ttftAttainment, cls.tptAttainment);
+        out += line;
+    }
+    return out;
+}
+
+TEST(GoldenServingTrace, PolicyPriorityTwoTierMatchesGolden)
+{
+    testing::compareOrUpdateGolden(
+        "serving_policy_priority_twotier_sbi_poisson_sharegpt.txt",
+        serializePolicyRun(kPolicyCase, "priority", "two-tier"));
+}
+
+TEST(GoldenServingTrace, PolicyEdfTwoTierMatchesGolden)
+{
+    testing::compareOrUpdateGolden(
+        "serving_policy_edf_twotier_sbi_poisson_sharegpt.txt",
+        serializePolicyRun(kPolicyCase, "edf", "two-tier"));
 }
 
 /**
