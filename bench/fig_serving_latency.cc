@@ -39,6 +39,13 @@
  * API exists to buy (high classes hold their SLO while low classes
  * absorb the pressure).
  *
+ * A fifth sweep injects faults (permanent channel failure, transient
+ * brownout, straggler window, and a full "storm" with impatient
+ * clients, retries and load shedding) on the over-capacity setup at
+ * 1.5x load, emitting availability counters, time-to-recovery,
+ * wasted work and goodput under "fault_sweep" — what graceful
+ * degradation costs and recovers (DESIGN.md §10).
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
@@ -458,6 +465,100 @@ main()
                 first = false;
             }
         }
+    }
+
+    std::fprintf(json, "\n  ],\n  \"fault_sweep\": [\n");
+
+    // --- Fault/degradation sweep: availability under injected
+    // failures (DESIGN.md §10) on the over-capacity setup at 1.5x
+    // load, recompute preemption — the regime where losing a channel
+    // actually hurts.
+    std::printf("\n=== Fault/degradation sweep (NeuPIMs+SBI, poisson, "
+                "ShareGPT, KV/6, maxlen 320, 1.5x, recompute) ===\n\n");
+    std::printf("%-10s | %5s %5s %5s %5s | %8s %8s | %9s %9s | %8s\n",
+                "scenario", "done", "tmout", "shed", "retry",
+                "ttft-p95", "e2e-p95", "recov-ms", "waste-tok",
+                "goodput");
+
+    struct FaultScenario
+    {
+        const char *name;
+        const char *fault;
+        double clientTimeoutMs;
+        int retries;
+        double shedWatermark;
+        double shedWaitMs;
+    };
+    std::vector<FaultScenario> scenarios = {
+        {"none", "", 0.0, 0, 0.0, 0.0},
+        {"fail", "fail:40", 0.0, 0, 0.0, 0.0},
+        {"brownout", "brownout:30:2:25", 0.0, 0, 0.0, 0.0},
+        {"straggler", "straggler:20:-1:80:3.0", 0.0, 0, 0.0, 0.0},
+        {"storm", "fail:40", 600.0, 2, 0.05, 400.0},
+    };
+    if (bench::fastMode())
+        scenarios = {scenarios[0], scenarios[1], scenarios[4]};
+    first = true;
+    for (const auto &sc : scenarios) {
+        double rate = preempt_base_rate * 1.5;
+        auto traffic = runtime::makeTraffic("poisson", pds, rate,
+                                            requests, seed);
+        if (sc.clientTimeoutMs > 0)
+            traffic->setClientTimeout(
+                static_cast<Cycle>(sc.clientTimeoutMs * 1e6));
+        auto cfg = core::servingConfigFor(backend.device, llm);
+        core::ServingOptions sopt;
+        sopt.preempt = "recompute";
+        sopt.kvScale = 6;
+        sopt.fault = sc.fault;
+        sopt.faultSeed = seed;
+        sopt.retries = sc.retries;
+        sopt.shedWatermark = sc.shedWatermark;
+        sopt.shedWaitMs = sc.shedWaitMs;
+        core::applyServingOptions(cfg, sopt);
+        runtime::ServingEngine engine(cfg, *traffic, *latency);
+        auto report = engine.run();
+
+        std::printf(
+            "%-10s | %5d %5d %5d %5d | %8.1f %8.0f | %9.1f %9llu | "
+            "%8.0f\n",
+            sc.name, report.requestsCompleted, report.requestsTimedOut,
+            report.requestsShed, report.requestsRetried,
+            report.ttftUs.p95() / 1e3, report.e2eUs.p95() / 1e3,
+            report.recoveryUs.maxValue() / 1e3,
+            static_cast<unsigned long long>(report.wastedTokens),
+            report.goodputTokensPerSecond());
+
+        std::fprintf(
+            json,
+            "%s    {\n      \"scenario\": \"%s\", \"fault\": \"%s\", "
+            "\"client_timeout_ms\": %.1f,\n"
+            "      \"retries\": %d, \"shed_watermark\": %.3f, "
+            "\"shed_wait_ms\": %.1f,\n"
+            "      \"completed\": %d, \"timed_out\": %d, "
+            "\"shed\": %d, \"retried\": %d,\n"
+            "      \"channels_failed\": %d, \"brownouts\": %d, "
+            "\"fault_preemptions\": %llu, \"kv_pages_lost\": %llu,\n"
+            "      \"wasted_tokens\": %llu, "
+            "\"recovery_ms_max\": %.3f, \"recovery_events\": %d,\n"
+            "      \"in_slo\": %d, \"goodput_tokens_per_s\": %.1f, "
+            "\"tokens_per_s\": %.1f,\n",
+            first ? "" : ",\n", sc.name, sc.fault, sc.clientTimeoutMs,
+            sc.retries, sc.shedWatermark, sc.shedWaitMs,
+            report.requestsCompleted, report.requestsTimedOut,
+            report.requestsShed, report.requestsRetried,
+            report.channelsFailed, report.channelsBrownedOut,
+            static_cast<unsigned long long>(report.faultPreemptions),
+            static_cast<unsigned long long>(report.kvPagesLost),
+            static_cast<unsigned long long>(report.wastedTokens),
+            report.recoveryUs.maxValue() * 1e-3,
+            static_cast<int>(report.recoveryUs.count()),
+            report.requestsInSlo, report.goodputTokensPerSecond(),
+            report.tokensPerSecond());
+        emitLatency(json, "ttft_ms", report.ttftUs, 1e-3, true);
+        emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, false);
+        std::fprintf(json, "    }");
+        first = false;
     }
 
     std::fprintf(json, "\n  ]\n}\n");

@@ -24,6 +24,9 @@
  *                 [--policy fcfs|priority|edf]
  *                 [--classes uniform|two-tier|three-tier]
  *                 [--slo-ttft-ms F] [--slo-tpt-ms F] [--aging-ms F]
+ *                 [--fault SPEC] [--client-timeout-ms F]
+ *                 [--retries N] [--retry-backoff-ms F]
+ *                 [--shed-watermark F] [--shed-wait-ms F]
  *
  * --trace replays an external CSV (arrival_us,input,output rows) in
  * place of the synthetic fixed-rate replay trace. --measured swaps
@@ -50,6 +53,20 @@
  * requests without their own, and --aging-ms tunes PriorityClass
  * anti-starvation aging. Multi-class runs append per-class latency
  * and SLO-attainment lines under each config row.
+ *
+ * --fault injects deterministic fault events
+ * ("kind:startMs[:chan[:durMs[:factor]]]", comma-separated; kinds
+ * fail|brownout|straggler — DESIGN.md §10). Faults require the
+ * preemption lifecycle for recovery, so --fault with --preempt off
+ * auto-upgrades to recompute (a note is printed).
+ * --client-timeout-ms gives every request an impatient client that
+ * abandons it at the deadline; --retries re-submits abandoned
+ * attempts after exponential backoff (first delay
+ * --retry-backoff-ms). --shed-watermark/--shed-wait-ms arm the
+ * load-shedding admission gate (free-KV fraction / oldest-wait
+ * watermarks). Runs with any robustness event print an availability
+ * summary line (timeouts, sheds, retries, wasted tokens, recovery
+ * time, goodput) under the config row.
  */
 
 #include <cstdio>
@@ -89,6 +106,12 @@ struct Options
     double sloTtftMs = 250.0;
     double sloTptMs = 25.0;
     double agingMs = 50.0;
+    std::string fault;
+    double clientTimeoutMs = 0.0;
+    int retries = 0;
+    double retryBackoffMs = 5.0;
+    double shedWatermark = 0.0;
+    double shedWaitMs = 0.0;
     int maxLen = 0; ///< 0 = dataset default
     bool measured = false;
     bool calibrate = false;
@@ -145,7 +168,11 @@ usage(const char *argv0)
         "          [--swap-gbps F] [--kv-scale N] [--policy "
         "fcfs|priority|edf]\n"
         "          [--classes uniform|two-tier|three-tier]\n"
-        "          [--slo-ttft-ms F] [--slo-tpt-ms F] [--aging-ms F]\n",
+        "          [--slo-ttft-ms F] [--slo-tpt-ms F] [--aging-ms F]\n"
+        "          [--fault kind:startMs[:chan[:durMs[:factor]]],...]\n"
+        "          [--client-timeout-ms F] [--retries N] "
+        "[--retry-backoff-ms F]\n"
+        "          [--shed-watermark F] [--shed-wait-ms F]\n",
         argv0);
 }
 
@@ -204,6 +231,18 @@ main(int argc, char **argv)
             opt.sloTptMs = std::atof(value());
         else if (arg == "--aging-ms")
             opt.agingMs = std::atof(value());
+        else if (arg == "--fault")
+            opt.fault = value();
+        else if (arg == "--client-timeout-ms")
+            opt.clientTimeoutMs = std::atof(value());
+        else if (arg == "--retries")
+            opt.retries = std::atoi(value());
+        else if (arg == "--retry-backoff-ms")
+            opt.retryBackoffMs = std::atof(value());
+        else if (arg == "--shed-watermark")
+            opt.shedWatermark = std::atof(value());
+        else if (arg == "--shed-wait-ms")
+            opt.shedWaitMs = std::atof(value());
         else if (arg == "--max-len")
             opt.maxLen = std::atoi(value());
         else if (arg == "--measured")
@@ -219,6 +258,14 @@ main(int argc, char **argv)
     }
 
     auto llm = model::modelByName(opt.model);
+
+    // Fault recovery re-dispatches force-evicted requests through the
+    // preemption lifecycle; there is no recovery path with it off.
+    if (!opt.fault.empty() && opt.preempt == "off") {
+        std::printf("# --fault requires preemption for recovery; "
+                    "upgrading --preempt off -> recompute\n");
+        opt.preempt = "recompute";
+    }
 
     std::vector<core::ServingBackend> backends;
     if (opt.backend == "all")
@@ -290,6 +337,9 @@ main(int argc, char **argv)
                                                    opt.requests,
                                                    opt.seed);
                 traffic->setClassMix(mix, opt.seed);
+                if (opt.clientTimeoutMs > 0)
+                    traffic->setClientTimeout(static_cast<Cycle>(
+                        opt.clientTimeoutMs * 1e6));
 
                 auto cfg = core::servingConfigFor(backend.device, llm);
                 cfg.scheduler.prefill.policy = policy;
@@ -304,6 +354,12 @@ main(int argc, char **argv)
                 serving_opt.sloTtftMs = opt.sloTtftMs;
                 serving_opt.sloTptMs = opt.sloTptMs;
                 serving_opt.kvScale = opt.kvScale;
+                serving_opt.fault = opt.fault;
+                serving_opt.faultSeed = opt.seed;
+                serving_opt.retries = opt.retries;
+                serving_opt.retryBackoffMs = opt.retryBackoffMs;
+                serving_opt.shedWatermark = opt.shedWatermark;
+                serving_opt.shedWaitMs = opt.shedWaitMs;
                 core::applyServingOptions(cfg, serving_opt);
                 runtime::ServingEngine engine(cfg, *traffic, *latency);
                 auto report = engine.run();
@@ -335,6 +391,37 @@ main(int argc, char **argv)
                         1e6,
                     static_cast<unsigned long long>(finishChecksum(
                         engine, report.requestsSubmitted)));
+
+                // Availability summary whenever the run degraded at
+                // all (faults, timeouts, retries or shedding).
+                if (report.requestsTimedOut > 0 ||
+                    report.requestsShed > 0 ||
+                    report.requestsRetried > 0 ||
+                    report.channelsFailed > 0 ||
+                    report.channelsBrownedOut > 0 ||
+                    report.faultPreemptions > 0) {
+                    std::printf(
+                        "    avail: timeout=%d shed=%d retried=%d "
+                        "wasted-tok=%llu chfail=%d brown=%d "
+                        "fault-pree=%llu kv-lost=%llu | recovery-ms "
+                        "p50 %.1f max %.1f (n=%d) | goodput %d req "
+                        "%.0f tok/s\n",
+                        report.requestsTimedOut, report.requestsShed,
+                        report.requestsRetried,
+                        static_cast<unsigned long long>(
+                            report.wastedTokens),
+                        report.channelsFailed,
+                        report.channelsBrownedOut,
+                        static_cast<unsigned long long>(
+                            report.faultPreemptions),
+                        static_cast<unsigned long long>(
+                            report.kvPagesLost),
+                        report.recoveryUs.p50() / 1e3,
+                        report.recoveryUs.maxValue() / 1e3,
+                        static_cast<int>(report.recoveryUs.count()),
+                        report.requestsInSlo,
+                        report.goodputTokensPerSecond());
+                }
 
                 // Per-class breakdown whenever the run actually has
                 // classes to break down.
@@ -377,6 +464,17 @@ main(int argc, char **argv)
                                         row.swapOutBytes +
                                         row.swapInBytes) /
                                         1e6);
+                        if (row.timedOut > 0 || row.shed > 0 ||
+                            row.retriesScheduled > 0 ||
+                            row.faultPreempted > 0 ||
+                            row.offlineChannels > 0)
+                            std::printf("         timeout %2d shed %2d "
+                                        "retry %2d fault-pre %2d "
+                                        "offline-ch %2d\n",
+                                        row.timedOut, row.shed,
+                                        row.retriesScheduled,
+                                        row.faultPreempted,
+                                        row.offlineChannels);
                     }
                 }
             }

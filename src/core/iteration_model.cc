@@ -426,6 +426,27 @@ AnalyticIterationModel::iterationCyclesFor(const MixedComposition &mix)
            swapOverheadCycles(mix);
 }
 
+namespace {
+
+/**
+ * Straggler pricing, shared by both iteration models: the iteration
+ * completes when its slowest channel does, so an active straggler
+ * window stretches the whole span by the schedule's load-weighted
+ * worst factor (IterationSchedule::stragglerInflation, 1.0 with no
+ * active window — faults off leaves every model byte-identical).
+ */
+Cycle
+priceStragglers(Cycle cycles,
+                const runtime::IterationSchedule &schedule)
+{
+    double factor = schedule.stragglerInflation();
+    if (factor <= 1.0)
+        return cycles;
+    return static_cast<Cycle>(static_cast<double>(cycles) * factor);
+}
+
+} // namespace
+
 Cycle
 AnalyticIterationModel::iterationCycles(
     const runtime::IterationSchedule &schedule)
@@ -434,9 +455,10 @@ AnalyticIterationModel::iterationCycles(
     if (!mix.hasDecode() && !mix.hasPrefill()) {
         // Restore-only iteration (swap-in with no compute scheduled):
         // the host-link transfer is the whole span.
-        return std::max<Cycle>(1, swapOverheadCycles(mix));
+        return priceStragglers(
+            std::max<Cycle>(1, swapOverheadCycles(mix)), schedule);
     }
-    return iterationCyclesFor(mix);
+    return priceStragglers(iterationCyclesFor(mix), schedule);
 }
 
 double
@@ -562,10 +584,11 @@ MeasuredIterationModel::iterationCycles(
 {
     MixedComposition mix = mixedCompositionOf(schedule);
     if (!mix.hasDecode() && !mix.hasPrefill()) {
-        return std::max<Cycle>(
-            1, analytic_.swapOverheadCycles(mix));
+        return priceStragglers(
+            std::max<Cycle>(1, analytic_.swapOverheadCycles(mix)),
+            schedule);
     }
-    return iterationCyclesFor(mix);
+    return priceStragglers(iterationCyclesFor(mix), schedule);
 }
 
 } // namespace neupims::core

@@ -1,6 +1,7 @@
 #include "core/serving_setup.h"
 
 #include "common/log.h"
+#include "runtime/fault_model.h"
 
 namespace neupims::core {
 
@@ -76,6 +77,15 @@ applyServingOptions(runtime::ServingConfig &cfg,
 
     if (opt.kvScale > 1)
         scaleKvCapacity(cfg, opt.kvScale);
+
+    if (!opt.fault.empty())
+        cfg.fault = runtime::parseFaultSpecs(opt.fault, opt.faultSeed);
+    cfg.client.maxRetries = opt.retries;
+    cfg.client.backoffCycles =
+        static_cast<Cycle>(opt.retryBackoffMs * 1e6);
+    cfg.scheduler.shed.kvHeadroom = opt.shedWatermark;
+    cfg.scheduler.shed.maxWaitCycles =
+        static_cast<Cycle>(opt.shedWaitMs * 1e6);
 }
 
 void

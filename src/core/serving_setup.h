@@ -9,6 +9,7 @@
 #ifndef NEUPIMS_CORE_SERVING_SETUP_H_
 #define NEUPIMS_CORE_SERVING_SETUP_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,6 +90,23 @@ struct ServingOptions
     /** Shrink device KV capacity by this factor (over-capacity
      * scenarios without changing traffic or model). */
     int kvScale = 1;
+
+    // --- robustness (fault_model.h, DESIGN.md §10) --------------
+    /** Fault-injection spec, "kind:startMs[:chan[:durMs[:factor]]]"
+     * comma-separated (empty = no faults); parsed with
+     * runtime::parseFaultSpecs under @ref faultSeed. */
+    std::string fault;
+    /** Seed for the fault stream's random channel picks. */
+    std::uint64_t faultSeed = 42;
+    /** Client retries per abandoned attempt (0 = off). */
+    int retries = 0;
+    /** First retry backoff (ms); doubles per further attempt. */
+    double retryBackoffMs = 5.0;
+    /** Load-shedding KV-headroom watermark: shed when the free
+     * fraction of live capacity drops below this (0 = off). */
+    double shedWatermark = 0.0;
+    /** Load-shedding waiting-time watermark (ms; 0 = off). */
+    double shedWaitMs = 0.0;
 };
 
 /** Apply @p opt onto @p cfg (drivers, benches and the goldens share

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.h"
+#include "runtime/fault_model.h"
 
 namespace neupims::runtime {
 
@@ -35,6 +36,24 @@ std::vector<std::vector<int>>
 IterationSchedule::seqLensOfSubBatch2() const
 {
     return seqLensOf(subBatches.sb2);
+}
+
+double
+IterationSchedule::stragglerInflation() const
+{
+    if (channelSlowdowns.empty())
+        return 1.0;
+    double max_load = 0.0, max_slowed = 0.0, max_factor = 1.0;
+    for (std::size_t ch = 0; ch < channelSlowdowns.size(); ++ch) {
+        double load =
+            ch < channelLoads.size() ? channelLoads[ch] : 0.0;
+        max_load = std::max(max_load, load);
+        max_slowed = std::max(max_slowed, load * channelSlowdowns[ch]);
+        max_factor = std::max(max_factor, channelSlowdowns[ch]);
+    }
+    if (max_load <= 0.0)
+        return max_factor; // transfer-only boundary: worst window
+    return std::max(1.0, max_slowed / max_load);
 }
 
 PreemptMode
@@ -92,10 +111,19 @@ prefillPolicyName(PrefillPolicy policy)
 }
 
 BatchScheduler::BatchScheduler(const SchedulerConfig &cfg,
-                               RequestPool &pool, PagedKvCache &kv)
-    : cfg_(cfg), pool_(pool), kv_(kv), estimator_(cfg.estimator),
+                               RequestPool &pool, PagedKvCache &kv,
+                               FaultModel *fault)
+    : cfg_(cfg), pool_(pool), kv_(kv), fault_(fault),
+      estimator_(cfg.estimator),
       policy_(makeSchedulingPolicy(cfg.policy, cfg.preempt.victim))
 {
+    NEUPIMS_ASSERT(!fault_ || !fault_->enabled() ||
+                       (cfg_.preempt.enabled() &&
+                        cfg_.prefill.enabled()),
+                   "fault injection requires preemption and a prefill "
+                   "policy: channel-loss recovery force-preempts "
+                   "residents in recompute mode and re-dispatches "
+                   "them through the restore/prefill path");
     NEUPIMS_ASSERT(cfg_.channels >= 1 && cfg_.maxBatch >= 1);
     NEUPIMS_ASSERT(cfg_.prefill.policy != PrefillPolicy::Chunked ||
                        cfg_.prefill.chunkTokens >= 1,
@@ -175,7 +203,10 @@ BatchScheduler::placeByUrgency(const Request &req,
         ChannelId best = kInvalidId;
         bool bestAvoids = false;
         for (ChannelId ch = 0; ch < cfg_.channels; ++ch) {
-            if (!room(ch))
+            // Offline channels (failed or browned out) leave the
+            // packer — no new placement until restored. Always true
+            // with faults disabled.
+            if (!kv_.channelOnline(ch) || !room(ch))
                 continue;
             bool avoids = isolate && !urgent[ch];
             if (best == kInvalidId || (avoids && !bestAvoids) ||
@@ -189,7 +220,7 @@ BatchScheduler::placeByUrgency(const Request &req,
     // Round-robin: first channel with room, starting at the cursor.
     for (int probe = 0; probe < cfg_.channels; ++probe) {
         ChannelId ch = (rrCursor_ + probe) % cfg_.channels;
-        if (room(ch)) {
+        if (kv_.channelOnline(ch) && room(ch)) {
             rrCursor_ = (ch + 1) % cfg_.channels;
             return ch;
         }
@@ -266,7 +297,6 @@ BatchScheduler::restorePreempted(IterationSchedule &out,
     // the batch at the NEXT boundary (its transfer occupies this
     // iteration) and cannot be churned right back out by this
     // iteration's own demands.
-    const bool recompute = cfg_.preempt.mode == PreemptMode::Recompute;
     while (pool_.preemptedCount() > 0 &&
            pool_.runningCount() <
                static_cast<std::size_t>(cfg_.maxBatch)) {
@@ -289,7 +319,12 @@ BatchScheduler::restorePreempted(IterationSchedule &out,
         }
         if (!req)
             break;
-        if (recompute) {
+        // Per-request restore route, not per-config: under a Swap
+        // config a fault victim was *evicted* (its channel died with
+        // its pages — nothing to swap back in), so it restores
+        // through the recompute/bind path while ordinary swap
+        // victims transfer back from the host tier.
+        if (!kv_.isSwappedOut(req->id)) {
             std::int64_t pages =
                 kv_.pagesForTokens(admissionTokens(*req));
             ChannelId ch =
@@ -495,6 +530,90 @@ BatchScheduler::schedulePrefill(
     }
 }
 
+void
+BatchScheduler::applyFaults(IterationSchedule &out)
+{
+    if (!fault_ || !fault_->enabled())
+        return;
+    FaultModel::Transitions tr = fault_->advanceTo(now_);
+    for (ChannelId ch : tr.restored)
+        kv_.setChannelOnline(ch, true);
+    for (ChannelId ch : tr.brownedOut) {
+        kv_.setChannelOnline(ch, false);
+        ++preemptStats_.brownouts;
+    }
+    for (ChannelId ch : tr.failed) {
+        // Force-preempt every resident of the failed channel in
+        // recompute mode — its KV pages are gone, so the restore
+        // rebuilds the sequence through chunked prefill on a
+        // surviving channel under the active SchedulingPolicy.
+        for (Request *req : pool_.runningRequests()) {
+            if (req->channel != ch)
+                continue;
+            preemptStats_.pagesFreed += static_cast<std::uint64_t>(
+                kv_.evictSequence(req->id));
+            pool_.preempt(req->id, /*recompute=*/true);
+            out.preemptedNow.push_back(req);
+            out.faultPreemptedNow.push_back(req);
+            ++preemptStats_.preemptions;
+            ++preemptStats_.faultPreemptions;
+        }
+        preemptStats_.kvPagesLost += static_cast<std::uint64_t>(
+            kv_.failChannel(ch));
+        ++preemptStats_.channelsFailed;
+    }
+}
+
+void
+BatchScheduler::shedOverload(IterationSchedule &out)
+{
+    if (!cfg_.shed.enabled() || pool_.waitingCount() == 0)
+        return;
+    auto tripped = [this]() -> bool {
+        if (pool_.waitingCount() == 0)
+            return false;
+        if (cfg_.shed.maxWaitCycles > 0) {
+            // waiting_ is arrival-ordered: the head waited longest.
+            const Request &oldest =
+                pool_.request(pool_.waitingHead());
+            if (now_ - oldest.arrivalCycle > cfg_.shed.maxWaitCycles)
+                return true;
+        }
+        if (cfg_.shed.kvHeadroom > 0.0) {
+            std::int64_t capacity = kv_.liveCapacityPages();
+            std::int64_t free_total = 0;
+            for (ChannelId ch = 0; ch < cfg_.channels; ++ch)
+                free_total += kv_.freePages(ch);
+            if (capacity > 0 &&
+                static_cast<double>(free_total) <
+                    cfg_.shed.kvHeadroom *
+                        static_cast<double>(capacity))
+                return true;
+        }
+        return false;
+    };
+    // Bounded per boundary so overload degrades smoothly: at most a
+    // quarter of the queue (at least one) sheds per iteration.
+    int cap = static_cast<int>(
+        std::max<std::size_t>(1, pool_.waitingCount() / 4));
+    while (cap-- > 0 && tripped()) {
+        // Shed the request the policy would admit LAST — the stable
+        // maximum under admitBefore, ties toward the youngest
+        // arrival. Fcfs never prefers, so this is exact drop-tail;
+        // class-aware policies shed their lowest effective class.
+        const auto &waiting = pool_.waitingIds();
+        RequestId victim = waiting.front();
+        for (RequestId id : waiting) {
+            if (!policy_->admitBefore(pool_.request(id),
+                                      pool_.request(victim), now_))
+                victim = id;
+        }
+        pool_.abandon(victim, RequestStatus::Shed);
+        out.shedNow.push_back(victim);
+        ++preemptStats_.shedRequests;
+    }
+}
+
 IterationSchedule
 BatchScheduler::scheduleIteration(Cycle now)
 {
@@ -504,12 +623,31 @@ BatchScheduler::scheduleIteration(Cycle now)
     if (cfg_.preempt.mode == PreemptMode::Swap)
         out.swapBytesPerCycle = cfg_.preempt.swapBytesPerCycle();
 
+    // Fault transitions and load shedding happen first: a freshly
+    // failed channel's residents leave the running set before loads
+    // are computed, and shed requests leave the waiting queue before
+    // admission considers them. Both are no-ops when disabled.
+    applyFaults(out);
+    shedOverload(out);
+
     // Current channel loads from the already-running batch. Requests
     // still in prefill count with their eventual prompt-length load:
     // placement happened at admission, and Algorithm 2 balances the
     // decode MHA they are about to contribute.
-    std::vector<double> loads(cfg_.channels, 0.0);
     std::vector<Request *> running = pool_.runningRequests();
+    if (fault_ && fault_->enabled() && fault_->offlineCount() > 0) {
+        // Residents of browned-out channels keep their pages but sit
+        // out the iteration — no decode append, no prefill slice, no
+        // load contribution — until the window ends.
+        running.erase(
+            std::remove_if(running.begin(), running.end(),
+                           [this](const Request *req) {
+                               return !kv_.channelOnline(
+                                   req->channel);
+                           }),
+            running.end());
+    }
+    std::vector<double> loads(cfg_.channels, 0.0);
     for (Request *req : running) {
         NEUPIMS_ASSERT(req->channel >= 0);
         loads[req->channel] +=
@@ -577,6 +715,12 @@ BatchScheduler::scheduleIteration(Cycle now)
 
     out.perChannel = groupByChannel(out.batch, cfg_.channels);
     out.subBatches = partitionSubBatches(out.perChannel);
+    if (fault_ && fault_->enabled() && fault_->anySlowdown(now_)) {
+        out.channelSlowdowns.assign(
+            static_cast<std::size_t>(cfg_.channels), 1.0);
+        for (ChannelId ch = 0; ch < cfg_.channels; ++ch)
+            out.channelSlowdowns[ch] = fault_->slowdown(ch, now_);
+    }
     out.channelLoads = std::move(loads);
     return out;
 }

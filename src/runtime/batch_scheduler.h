@@ -115,6 +115,30 @@ const char *preemptModeName(PreemptMode mode);
 PrefillPolicy prefillPolicyByName(const std::string &name);
 const char *prefillPolicyName(PrefillPolicy policy);
 
+/**
+ * Load-shedding admission gate (graceful degradation, DESIGN.md §10):
+ * when a watermark trips at a boundary, the scheduler sheds the
+ * waiting requests the policy would admit LAST (Fcfs: drop-tail),
+ * capped at max(1, waiting/4) per boundary so overload degrades
+ * smoothly instead of collapsing the queue in one burst. Both
+ * watermarks disabled (the default) leaves admission byte-identical.
+ */
+struct ShedConfig
+{
+    /** Shed when the oldest waiting request has waited longer than
+     * this (cycles; 0 = disabled). */
+    Cycle maxWaitCycles = 0;
+    /** Shed when the free-page fraction of live KV capacity falls
+     * below this (0 = disabled). */
+    double kvHeadroom = 0.0;
+
+    bool
+    enabled() const
+    {
+        return maxWaitCycles > 0 || kvHeadroom > 0.0;
+    }
+};
+
 struct SchedulerConfig
 {
     int channels = 32;
@@ -128,6 +152,8 @@ struct SchedulerConfig
      * runtime/sched_policy.h. Fcfs reproduces the pre-policy
      * scheduler bit-for-bit. */
     SchedPolicyConfig policy;
+    /** Load-shedding watermarks (disabled by default). */
+    ShedConfig shed;
 };
 
 /** One request's prefill work within an iteration. */
@@ -168,6 +194,29 @@ struct IterationSchedule
     /** Host-link rate for pricing swap traffic (0 = no swap tier). */
     double swapBytesPerCycle = 0.0;
 
+    // --- fault events decided at this boundary ----------------------
+    /** Subset of preemptedNow force-evicted because their channel
+     * failed (KV pages lost; always recompute-mode). The engine
+     * tracks these for time-to-recovery accounting. */
+    std::vector<Request *> faultPreemptedNow;
+    /** Waiting requests shed by the load-shedding gate (they never
+     * held KV; the engine may schedule client retries). */
+    std::vector<RequestId> shedNow;
+    /** Per-channel straggler inflation factors at this boundary
+     * (empty = no active window; both iteration models price it via
+     * stragglerInflation()). */
+    std::vector<double> channelSlowdowns;
+
+    /**
+     * Iteration-latency inflation from active straggler windows: the
+     * iteration finishes when its slowest channel does, so the factor
+     * is max(load_ch * slow_ch) / max(load_ch) over channels, clamped
+     * to >= 1 (with no channel loads, the max slowdown). 1.0 when no
+     * window is active — both iteration models multiply their result
+     * by this, pricing stragglers identically.
+     */
+    double stragglerInflation() const;
+
     int batchSize() const { return static_cast<int>(batch.size()); }
 
     /** Total prompt tokens prefilled this iteration. */
@@ -204,13 +253,29 @@ struct PreemptStats
     Bytes swapOutBytes = 0;
     Bytes swapInBytes = 0;
     std::uint64_t neverFitDrops = 0; ///< sequence exceeds a channel
+
+    // --- fault & degradation counters (0 with faults/shedding off) --
+    std::uint64_t faultPreemptions = 0; ///< evicted by channel loss
+    std::uint64_t kvPagesLost = 0; ///< capacity pages lost to failures
+    int channelsFailed = 0;        ///< permanent channel failures
+    int brownouts = 0;             ///< transient offline windows begun
+    std::uint64_t shedRequests = 0; ///< shed by the admission gate
 };
+
+class FaultModel;
 
 class BatchScheduler
 {
   public:
+    /**
+     * @p fault (optional) injects channel faults at iteration
+     * boundaries (runtime/fault_model.h). An enabled fault model
+     * requires preemption + prefill: channel-loss recovery
+     * force-preempts residents in recompute mode and re-dispatches
+     * them through the restore/prefill path.
+     */
     BatchScheduler(const SchedulerConfig &cfg, RequestPool &pool,
-                   PagedKvCache &kv);
+                   PagedKvCache &kv, FaultModel *fault = nullptr);
 
     const SchedulerConfig &config() const { return cfg_; }
 
@@ -303,9 +368,21 @@ class BatchScheduler
     resolveMemoryPressure(IterationSchedule &out,
                           std::vector<double> &loads);
 
+    /** Apply fault transitions crossing this boundary: force-preempt
+     * residents of freshly failed channels (recompute; their pages
+     * are lost), mark brownouts offline and restore elapsed ones.
+     * Runs before channel loads are computed, so victims never count
+     * toward this boundary's packing. */
+    void applyFaults(IterationSchedule &out);
+
+    /** Shed policy-last waiting requests while a watermark trips,
+     * capped per boundary (graceful degradation). */
+    void shedOverload(IterationSchedule &out);
+
     SchedulerConfig cfg_;
     RequestPool &pool_;
     PagedKvCache &kv_;
+    FaultModel *fault_ = nullptr;
     MhaLatencyEstimator estimator_;
     std::unique_ptr<SchedulingPolicy> policy_;
     PreemptStats preemptStats_;

@@ -11,6 +11,60 @@ PagedKvCache::PagedKvCache(const KvCacheConfig &cfg) : cfg_(cfg)
     NEUPIMS_ASSERT(cfg_.bytesPerTokenPerLayer >= 1,
                    "KV bytes per token must be configured");
     freePages_.assign(cfg_.channels, cfg_.pagesPerChannel());
+    online_.assign(static_cast<std::size_t>(cfg_.channels), 1);
+    failed_.assign(static_cast<std::size_t>(cfg_.channels), 0);
+}
+
+bool
+PagedKvCache::channelOnline(ChannelId channel) const
+{
+    NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
+    return online_[channel] != 0;
+}
+
+void
+PagedKvCache::setChannelOnline(ChannelId channel, bool online)
+{
+    NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
+    if (failed_[channel])
+        return; // failure is forever
+    online_[channel] = online ? 1 : 0;
+}
+
+std::int64_t
+PagedKvCache::failChannel(ChannelId channel)
+{
+    NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
+    NEUPIMS_ASSERT(!failed_[channel],
+                   "channel ", channel, " already failed");
+    for (const auto &entry : sequences_) {
+        NEUPIMS_ASSERT(entry.second.swapped ||
+                           entry.second.channel != channel,
+                       "failing channel ", channel,
+                       " with resident sequence ", entry.first,
+                       " — evict residents first");
+    }
+    failed_[channel] = 1;
+    online_[channel] = 0;
+    std::int64_t lost = freePages_[channel];
+    freePages_[channel] = 0;
+    return lost;
+}
+
+int
+PagedKvCache::liveChannels() const
+{
+    int n = 0;
+    for (std::uint8_t f : failed_)
+        n += f ? 0 : 1;
+    return n;
+}
+
+std::int64_t
+PagedKvCache::liveCapacityPages() const
+{
+    return cfg_.pagesPerChannel() *
+           static_cast<std::int64_t>(liveChannels());
 }
 
 std::int64_t
@@ -30,7 +84,8 @@ PagedKvCache::pagesForTokens(int tokens) const
 bool
 PagedKvCache::canAllocate(ChannelId channel, int tokens) const
 {
-    return freePages(channel) >= pagesForTokens(tokens);
+    return channelOnline(channel) &&
+           freePages(channel) >= pagesForTokens(tokens);
 }
 
 bool
@@ -53,6 +108,8 @@ PagedKvCache::bindSequence(RequestId id, ChannelId channel)
     NEUPIMS_ASSERT(sequences_.find(id) == sequences_.end(),
                    "request already has a KV sequence: ", id);
     NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
+    NEUPIMS_ASSERT(channelOnline(channel),
+                   "binding sequence to offline channel ", channel);
     sequences_[id] = Sequence{channel, 0, 0, false};
 }
 
@@ -150,7 +207,7 @@ PagedKvCache::swapIn(RequestId id, ChannelId channel)
     Sequence &seq = it->second;
     NEUPIMS_ASSERT(seq.swapped, "swap-in of device-resident request ",
                    id);
-    if (freePages(channel) < seq.pages)
+    if (!channelOnline(channel) || freePages(channel) < seq.pages)
         return 0;
     freePages_[channel] -= seq.pages;
     hostPages_ -= seq.pages;
@@ -187,14 +244,17 @@ PagedKvCache::pagesOf(RequestId id) const
 std::int64_t
 PagedKvCache::usedPages(ChannelId channel) const
 {
+    if (failed_[channel])
+        return 0; // lost capacity is neither free nor in use
     return cfg_.pagesPerChannel() - freePages(channel);
 }
 
 double
 PagedKvCache::utilization() const
 {
-    double total = static_cast<double>(cfg_.pagesPerChannel()) *
-                   static_cast<double>(cfg_.channels);
+    // Failed channels leave the denominator (their pages are lost,
+    // not busy); with no faults this is the full device as before.
+    double total = static_cast<double>(liveCapacityPages());
     if (total == 0.0)
         return 0.0;
     double free_total = 0.0;

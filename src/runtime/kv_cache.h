@@ -65,6 +65,33 @@ class PagedKvCache
     /** Pages currently free on @p channel. */
     std::int64_t freePages(ChannelId channel) const;
 
+    // --- channel fault state (runtime/fault_model.h) ----------------
+
+    /** Whether @p channel accepts allocations (online, not failed). */
+    bool channelOnline(ChannelId channel) const;
+
+    /**
+     * Mark @p channel offline (brownout) or back online. Resident
+     * sequences keep their pages; only new placement/growth is
+     * blocked while offline. No effect on failed channels.
+     */
+    void setChannelOnline(ChannelId channel, bool online);
+
+    /**
+     * Permanently fail @p channel: its free pages drop to zero and
+     * its capacity leaves the utilization denominator for good.
+     * @return capacity pages lost. @pre no sequence is resident on the
+     * channel (the scheduler force-evicts residents first — their
+     * pages are lost, which is exactly the eviction).
+     */
+    std::int64_t failChannel(ChannelId channel);
+
+    /** Channels not permanently failed. */
+    int liveChannels() const;
+
+    /** Capacity pages across non-failed channels. */
+    std::int64_t liveCapacityPages() const;
+
     /** Pages a sequence of @p tokens occupies. */
     std::int64_t pagesForTokens(int tokens) const;
 
@@ -163,6 +190,8 @@ class PagedKvCache
 
     KvCacheConfig cfg_;
     std::vector<std::int64_t> freePages_;
+    std::vector<std::uint8_t> online_; ///< accepts allocations
+    std::vector<std::uint8_t> failed_; ///< permanently lost
     std::unordered_map<RequestId, Sequence> sequences_;
     std::int64_t hostPages_ = 0;
 };

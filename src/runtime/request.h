@@ -33,7 +33,24 @@ enum class RequestStatus : std::uint8_t
      * freed (recompute) or moved to the host tier (swap). Rejoins the
      * running batch when the scheduler restores it. */
     Preempted,
+    /** The client's deadline expired before completion; the engine
+     * aborted it mid-flight and freed its KV pages. */
+    TimedOut,
+    /** Rejected by the load-shedding admission gate while waiting
+     * (overload watermark tripped; never held KV pages). */
+    Shed,
 };
+
+/** Whether @p status is terminal: the request left every live queue
+ * and is counted in exactly one terminal bucket. */
+inline bool
+isTerminalStatus(RequestStatus status)
+{
+    return status == RequestStatus::Done ||
+           status == RequestStatus::Dropped ||
+           status == RequestStatus::TimedOut ||
+           status == RequestStatus::Shed;
+}
 
 enum class RequestPhase : std::uint8_t
 {
@@ -63,6 +80,17 @@ struct Request
     /** Per-generated-token target in cycles (0 = none). */
     Cycle tptSlo = 0;
 
+    // --- client-side robustness (runtime/fault_model.h, DESIGN §10) -
+    /** Client deadline relative to this attempt's arrival (cycles;
+     * 0 = infinitely patient client). */
+    Cycle clientTimeout = 0;
+    /** Retry generation: 0 = original submission, n = n-th
+     * backoff-delayed re-submission of an abandoned attempt. */
+    int attempt = 0;
+    /** The prior attempt this re-submission replaces (kInvalidId for
+     * originals) — retry chains are walkable for token conservation. */
+    RequestId retryOf = kInvalidId;
+
     // --- serving timeline (simulated cycles; kCycleMax = not yet) ----
     Cycle arrivalCycle = 0;           ///< entered the request pool
     Cycle admitCycle = kCycleMax;     ///< joined the running batch
@@ -79,6 +107,14 @@ struct Request
     int recomputeTokens = 0;
     Cycle preemptStartCycle = kCycleMax; ///< current eviction began
     Cycle preemptedCycles = 0; ///< total cycles spent evicted
+
+    /** Cycle the client abandons this attempt (kCycleMax = never). */
+    Cycle
+    deadlineCycle() const
+    {
+        return clientTimeout == 0 ? kCycleMax
+                                  : arrivalCycle + clientTimeout;
+    }
 
     /** Time to first token; @pre firstTokenCycle is stamped. */
     Cycle

@@ -84,12 +84,64 @@ RequestPool::admitId(RequestId id, bool prefill)
 }
 
 void
+RequestPool::markTerminal(Request &req, RequestStatus terminal)
+{
+    NEUPIMS_ASSERT(isTerminalStatus(terminal));
+    NEUPIMS_ASSERT(!isTerminalStatus(req.status),
+                   "request ", req.id,
+                   " already terminal; a request is counted in "
+                   "exactly one terminal state");
+    req.status = terminal;
+    switch (terminal) {
+    case RequestStatus::Done:
+        ++completed_;
+        break;
+    case RequestStatus::Dropped:
+        ++dropped_;
+        break;
+    case RequestStatus::TimedOut:
+        ++timedOut_;
+        break;
+    case RequestStatus::Shed:
+        ++shed_;
+        break;
+    default:
+        break;
+    }
+}
+
+void
 RequestPool::dropWaiting(RequestId id)
 {
     auto it = std::find(waiting_.begin(), waiting_.end(), id);
     NEUPIMS_ASSERT(it != waiting_.end(), "request not waiting: ", id);
     waiting_.erase(it);
-    all_[id].status = RequestStatus::Dropped;
+    markTerminal(all_[id], RequestStatus::Dropped);
+}
+
+void
+RequestPool::abandon(RequestId id, RequestStatus terminal)
+{
+    NEUPIMS_ASSERT(terminal == RequestStatus::TimedOut ||
+                       terminal == RequestStatus::Shed,
+                   "abandon() only timed-out/shed terminals");
+    auto wit = std::find(waiting_.begin(), waiting_.end(), id);
+    if (wit != waiting_.end()) {
+        waiting_.erase(wit);
+    } else {
+        auto rit = std::find(running_.begin(), running_.end(), id);
+        if (rit != running_.end()) {
+            running_.erase(rit);
+        } else {
+            auto pit =
+                std::find(preempted_.begin(), preempted_.end(), id);
+            NEUPIMS_ASSERT(pit != preempted_.end(),
+                           "abandoning request ", id,
+                           " that is not live");
+            preempted_.erase(pit);
+        }
+    }
+    markTerminal(all_[id], terminal);
 }
 
 void
@@ -114,7 +166,7 @@ RequestPool::dropWaitingHead()
     NEUPIMS_ASSERT(!waiting_.empty());
     RequestId id = waiting_.front();
     waiting_.pop_front();
-    all_[id].status = RequestStatus::Dropped;
+    markTerminal(all_[id], RequestStatus::Dropped);
     return id;
 }
 
@@ -194,6 +246,65 @@ RequestPool::advanceRequests(const std::vector<Request *> &decoded)
         completed_ += retired.size();
     }
     return retired;
+}
+
+bool
+RequestPool::conservationHolds() const
+{
+    // Queue sizes + terminal counters must partition the submissions.
+    std::uint64_t accounted =
+        static_cast<std::uint64_t>(pending_.size()) + waiting_.size() +
+        running_.size() + preempted_.size() + completed_ + dropped_ +
+        timedOut_ + shed_;
+    if (accounted != all_.size())
+        return false;
+    // Exhaustive census: each per-status population matches its
+    // queue/counter, so no request is double-counted or lost.
+    std::uint64_t waiting = 0, running = 0, preempted = 0, done = 0,
+                  droppedN = 0, timedOutN = 0, shedN = 0;
+    for (const Request &req : all_) {
+        switch (req.status) {
+        case RequestStatus::Waiting:
+            ++waiting; // pending arrivals also report Waiting
+            break;
+        case RequestStatus::Running:
+            ++running;
+            break;
+        case RequestStatus::Preempted:
+            ++preempted;
+            break;
+        case RequestStatus::Done:
+            ++done;
+            break;
+        case RequestStatus::Dropped:
+            ++droppedN;
+            break;
+        case RequestStatus::TimedOut:
+            ++timedOutN;
+            break;
+        case RequestStatus::Shed:
+            ++shedN;
+            break;
+        }
+    }
+    return waiting == pending_.size() + waiting_.size() &&
+           running == running_.size() &&
+           preempted == preempted_.size() && done == completed_ &&
+           droppedN == dropped_ && timedOutN == timedOut_ &&
+           shedN == shed_;
+}
+
+void
+RequestPool::assertConservation() const
+{
+    if (conservationHolds())
+        return;
+    fatal("request-pool conservation violated: submitted=",
+          all_.size(), " pending=", pending_.size(), " waiting=",
+          waiting_.size(), " running=", running_.size(),
+          " preempted=", preempted_.size(), " completed=", completed_,
+          " dropped=", dropped_, " timedOut=", timedOut_,
+          " shed=", shed_);
 }
 
 Request &

@@ -59,6 +59,9 @@ class RequestPool
     std::size_t runningCount() const { return running_.size(); }
     std::size_t preemptedCount() const { return preempted_.size(); }
     std::uint64_t completedCount() const { return completed_; }
+    std::uint64_t droppedCount() const { return dropped_; }
+    std::uint64_t timedOutCount() const { return timedOut_; }
+    std::uint64_t shedCount() const { return shed_; }
 
     /**
      * Admit up to @p max_new waiting requests into the running batch.
@@ -147,12 +150,41 @@ class RequestPool
     std::vector<RequestId>
     advanceRequests(const std::vector<Request *> &decoded);
 
+    /**
+     * Abandon a live (waiting, running or preempted) request into the
+     * terminal state @p terminal — TimedOut (client deadline expired)
+     * or Shed (load-shedding gate). The caller frees any KV pages; the
+     * pool removes it from whichever live queue holds it and counts it
+     * in exactly one terminal bucket. @pre the request is live.
+     */
+    void abandon(RequestId id, RequestStatus terminal);
+
     Request &request(RequestId id);
     const Request &request(RequestId id) const;
 
     std::uint64_t totalGeneratedTokens() const { return totalTokens_; }
 
+    /**
+     * Exhaustive conservation check: every submitted request is in
+     * exactly one live queue or one terminal bucket, the queue sizes
+     * and terminal counters sum to the submission count, and each
+     * per-status census matches its counter. O(n); called by tests
+     * and once at the end of a serving run.
+     */
+    bool conservationHolds() const;
+
+    /** fatal() with a full census on a conservation violation. */
+    void assertConservation() const;
+
   private:
+    /**
+     * Single funnel into a terminal state: asserts the request is not
+     * already terminal (a request is counted in exactly ONE of
+     * completed/dropped/timed-out/shed) and bumps the matching
+     * counter.
+     */
+    void markTerminal(Request &req, RequestStatus terminal);
+
     /** Pending arrival ordered by (arrival cycle, submission seq). */
     struct PendingArrival
     {
@@ -176,6 +208,9 @@ class RequestPool
     std::vector<RequestId> running_;
     std::deque<RequestId> preempted_; ///< evicted, FIFO restore order
     std::uint64_t completed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t timedOut_ = 0;
+    std::uint64_t shed_ = 0;
     std::uint64_t totalTokens_ = 0;
 };
 

@@ -16,6 +16,15 @@ ServingReport::tokensPerSecond() const
            cyclesToSeconds(makespanCycles);
 }
 
+double
+ServingReport::goodputTokensPerSecond() const
+{
+    if (makespanCycles == 0)
+        return 0.0;
+    return static_cast<double>(goodputTokens) /
+           cyclesToSeconds(makespanCycles);
+}
+
 const ClassServingReport &
 ServingReport::classReport(int priority_class) const
 {
@@ -31,7 +40,9 @@ ServingEngine::ServingEngine(const ServingConfig &cfg,
                              TrafficModel &traffic,
                              IterationLatencyModel &latency)
     : cfg_(cfg), traffic_(traffic), latency_(latency), kv_(cfg.kv),
-      scheduler_(cfg.scheduler, pool_, kv_)
+      fault_(cfg.fault, cfg.scheduler.channels),
+      scheduler_(cfg.scheduler, pool_, kv_, &fault_),
+      retryRng_(cfg.client.seed ^ 0xbac0ffULL)
 {}
 
 ServingReport
@@ -45,10 +56,17 @@ ServingEngine::run()
 
     // Open-loop arrivals: the whole trace is independent of service,
     // so it can be drained into the pool's time-ordered pending queue
-    // up front.
+    // up front. (Retries are the exception — they are re-submitted
+    // closed-loop as prior attempts are abandoned below.)
+    bool anyTimeouts = false;
     while (auto ev = traffic_.next()) {
-        pool_.submitAt(ev->time, ev->inputLength, ev->outputLength,
-                       ev->priorityClass, ev->ttftSlo, ev->tptSlo);
+        RequestId id =
+            pool_.submitAt(ev->time, ev->inputLength, ev->outputLength,
+                           ev->priorityClass, ev->ttftSlo, ev->tptSlo);
+        if (ev->clientTimeout > 0) {
+            pool_.request(id).clientTimeout = ev->clientTimeout;
+            anyTimeouts = true;
+        }
         ++report.requestsSubmitted;
     }
 
@@ -56,12 +74,100 @@ ServingEngine::run()
     Cycle now = 0;
     int iteration = 0;
     std::uint64_t batchSum = 0;
-    // Never-fit drops can land at boundaries whose schedule carries
-    // no priceable work (no trace row); carry them into the next
-    // recorded row so the trace surfaces every drop.
+    // Never-fit drops (and the availability events below) can land at
+    // boundaries whose schedule carries no priceable work (no trace
+    // row); carry them into the next recorded row so the trace
+    // surfaces every one.
     int pendingDrops = 0;
+    int pendingTimedOut = 0;
+    int pendingShed = 0;
+    int pendingRetries = 0;
+    int pendingFaultPreempted = 0;
+    int retriesScheduledNow = 0;
+
+    // Re-submit an abandoned attempt as a NEW arrival after
+    // exponential backoff with jitter (dedicated RNG stream — no draw
+    // unless a retry actually fires). Snapshot before submitAt: the
+    // pool's request table may reallocate.
+    auto scheduleRetry = [&](RequestId abandoned) {
+        const Request req = pool_.request(abandoned);
+        if (req.attempt >= cfg_.client.maxRetries)
+            return;
+        Cycle base = cfg_.client.backoffCycles
+                     << static_cast<unsigned>(req.attempt);
+        Cycle delay = static_cast<Cycle>(
+            static_cast<double>(base) *
+            (1.0 + cfg_.client.jitterFrac * retryRng_.uniform()));
+        RequestId nid =
+            pool_.submitAt(now + delay, req.inputLength,
+                           req.outputLength, req.priorityClass,
+                           req.ttftSlo, req.tptSlo);
+        Request &fresh = pool_.request(nid);
+        fresh.clientTimeout = req.clientTimeout;
+        fresh.attempt = req.attempt + 1;
+        fresh.retryOf = abandoned;
+        ++report.requestsSubmitted;
+        ++retriesScheduledNow;
+    };
+
+    // Time-to-recovery tracking: one open window per fault event that
+    // force-evicted at least one request, closed when its last victim
+    // is re-dispatched (or abandoned by a timeout).
+    struct OpenRecovery
+    {
+        Cycle start;
+        std::vector<RequestId> victims;
+    };
+    std::vector<OpenRecovery> openRecoveries;
+    auto settleRecovery = [&](RequestId id) {
+        for (auto it = openRecoveries.begin();
+             it != openRecoveries.end();) {
+            auto &v = it->victims;
+            v.erase(std::remove(v.begin(), v.end(), id), v.end());
+            if (v.empty()) {
+                report.recoveryUs.record(
+                    cyclesToMicros(now - it->start));
+                it = openRecoveries.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
     while (true) {
         pool_.releaseArrivals(now);
+        retriesScheduledNow = 0;
+
+        // Client deadlines: abandon every live attempt whose deadline
+        // passed — the engine aborts it mid-flight, frees its KV pages
+        // and (if attempts remain) queues a backoff re-submission.
+        int timedOutNow = 0;
+        if (anyTimeouts) {
+            std::vector<RequestId> expired;
+            for (RequestId id : pool_.waitingIds()) {
+                if (now >= pool_.request(id).deadlineCycle())
+                    expired.push_back(id);
+            }
+            for (Request *req : pool_.runningRequests()) {
+                if (now >= req->deadlineCycle())
+                    expired.push_back(req->id);
+            }
+            for (Request *req : pool_.preemptedRequests()) {
+                if (now >= req->deadlineCycle())
+                    expired.push_back(req->id);
+            }
+            std::sort(expired.begin(), expired.end());
+            for (RequestId id : expired) {
+                report.wastedTokens += static_cast<std::uint64_t>(
+                    pool_.request(id).generatedTokens);
+                kv_.freeSequence(id);
+                pool_.abandon(id, RequestStatus::TimedOut);
+                settleRecovery(id);
+                scheduleRetry(id);
+                ++timedOutNow;
+            }
+            pendingTimedOut += timedOutNow;
+        }
 
         if (pool_.waitingCount() == 0 && pool_.runningCount() == 0 &&
             pool_.preemptedCount() == 0) {
@@ -89,9 +195,25 @@ ServingEngine::run()
             req->preemptedCycles += span;
             req->preemptStartCycle = kCycleMax;
             report.restoreUs.record(cyclesToMicros(span));
+            settleRecovery(req->id);
         }
         for (Request *req : schedule.preemptedNow)
             req->preemptStartCycle = now;
+        if (!schedule.faultPreemptedNow.empty()) {
+            OpenRecovery rec;
+            rec.start = now;
+            for (Request *req : schedule.faultPreemptedNow)
+                rec.victims.push_back(req->id);
+            openRecoveries.push_back(std::move(rec));
+        }
+        // Shed victims left the pool inside the scheduler (they never
+        // held KV pages); give each its backoff re-submission.
+        for (RequestId id : schedule.shedNow)
+            scheduleRetry(id);
+        pendingShed += static_cast<int>(schedule.shedNow.size());
+        pendingFaultPreempted +=
+            static_cast<int>(schedule.faultPreemptedNow.size());
+        pendingRetries += retriesScheduledNow;
 
         if (schedule.empty() && (!schedule.restoredNow.empty() ||
                                  schedule.swapOutBytes > 0)) {
@@ -101,13 +223,37 @@ ServingEngine::run()
             // work joins the batch at the next boundary. Fall
             // through to price it as an iteration.
         } else if (schedule.empty()) {
+            bool boundary_progress =
+                !schedule.droppedNeverFit.empty() ||
+                !schedule.preemptedNow.empty() ||
+                !schedule.shedNow.empty() || timedOutNow > 0;
             if (preempting) {
+                if (!boundary_progress && fault_.enabled()) {
+                    // Every live resident is dark (failed channels
+                    // evict, but a brownout parks its residents
+                    // in place): nothing can run until a brownout
+                    // lifts or new work arrives. A permanent loss of
+                    // every channel with live requests has no future
+                    // transition and is a (documented) fatal.
+                    Cycle next =
+                        std::min(fault_.nextTransitionCycle(),
+                                 pool_.nextArrivalCycle());
+                    NEUPIMS_ASSERT(
+                        next != kCycleMax && next > now,
+                        "no schedulable work and no future fault "
+                        "transition or arrival (all channels lost?): "
+                        "running=", pool_.runningCount(),
+                        " waiting=", pool_.waitingCount(),
+                        " preempted=", pool_.preemptedCount());
+                    now = next;
+                    continue;
+                }
                 // The scheduler already rejected never-fitting heads
                 // and preemption frees pages for the next boundary —
-                // both count as progress; anything else would
-                // livelock (preemption never strands fitting work).
-                NEUPIMS_ASSERT(!schedule.droppedNeverFit.empty() ||
-                                   !schedule.preemptedNow.empty(),
+                // both count as progress (as do sheds and timeouts);
+                // anything else would livelock (preemption never
+                // strands fitting work).
+                NEUPIMS_ASSERT(boundary_progress,
                                "empty schedule without progress "
                                "under preemption: running=",
                                pool_.runningCount(), " waiting=",
@@ -115,6 +261,8 @@ ServingEngine::run()
                                pool_.preemptedCount());
                 continue;
             }
+            if (!schedule.shedNow.empty() || timedOutNow > 0)
+                continue; // the boundary made progress without work
             // Nothing running and the policy's admission pick cannot
             // be placed on any channel even with the device empty —
             // it can never be served. Reject exactly the blocking
@@ -193,9 +341,18 @@ ServingEngine::run()
                 static_cast<int>(pool_.preemptedCount());
             row.swapOutBytes = schedule.swapOutBytes;
             row.swapInBytes = schedule.swapInBytes;
+            row.timedOut = pendingTimedOut;
+            row.shed = pendingShed;
+            row.retriesScheduled = pendingRetries;
+            row.faultPreempted = pendingFaultPreempted;
+            row.offlineChannels = fault_.offlineCount();
             trace_.push_back(row);
         }
         pendingDrops = 0;
+        pendingTimedOut = 0;
+        pendingShed = 0;
+        pendingRetries = 0;
+        pendingFaultPreempted = 0;
 
         report.prefilledTokens +=
             static_cast<std::uint64_t>(prefill_tokens);
@@ -223,9 +380,14 @@ ServingEngine::run()
                             static_cast<double>(iteration)
                       : 0.0;
 
+    report.requestsTimedOut =
+        static_cast<int>(pool_.timedOutCount());
+    report.requestsShed = static_cast<int>(pool_.shedCount());
     report.requestsInFlight = report.requestsSubmitted -
                               report.requestsCompleted -
-                              report.requestsDropped;
+                              report.requestsDropped -
+                              report.requestsTimedOut -
+                              report.requestsShed;
 
     const PreemptStats &ps = scheduler_.preemptStats();
     report.preemptions = ps.preemptions;
@@ -233,6 +395,15 @@ ServingEngine::run()
     report.kvPagesEvicted = ps.pagesFreed;
     report.swapOutBytes = ps.swapOutBytes;
     report.swapInBytes = ps.swapInBytes;
+    report.faultPreemptions = ps.faultPreemptions;
+    report.kvPagesLost = ps.kvPagesLost;
+    report.channelsFailed = ps.channelsFailed;
+    report.channelsBrownedOut = ps.brownouts;
+
+    // Terminal-state conservation: every submitted request landed in
+    // exactly one of completed/dropped/timed-out/shed or is still live
+    // (safety stop); the pool's census must balance.
+    pool_.assertConservation();
 
     // Latency distributions in request id (= submission) order so the
     // report is deterministic. A safety stop leaves requests in
@@ -261,6 +432,14 @@ ServingEngine::run()
         ++cls.rep.submitted;
         if (req.status == RequestStatus::Dropped)
             ++cls.rep.dropped;
+        if (req.status == RequestStatus::TimedOut)
+            ++cls.rep.timedOut;
+        if (req.status == RequestStatus::Shed)
+            ++cls.rep.shed;
+        if (req.attempt > 0) {
+            ++report.requestsRetried;
+            ++cls.rep.retried;
+        }
         if (req.preemptions > 0) {
             ++report.requestsPreempted;
             ++cls.rep.preempted;
@@ -295,9 +474,19 @@ ServingEngine::run()
         cls.rep.perTokenMs.record(per_token_ms);
         Cycle tpt_target = req.tptSlo ? req.tptSlo : defaultTptSlo;
         ++cls.tptSamples;
-        if (req.endToEnd() <=
-            tpt_target * static_cast<Cycle>(req.outputLength))
+        bool tpt_ok = req.endToEnd() <=
+                      tpt_target * static_cast<Cycle>(req.outputLength);
+        if (tpt_ok)
             ++cls.tptOk;
+        // Goodput: completed AND inside both SLO targets — the
+        // throughput a degraded run still delivers usefully.
+        Cycle ttft_target = req.ttftSlo ? req.ttftSlo : defaultTtftSlo;
+        if (tpt_ok && req.firstTokenCycle != kCycleMax &&
+            req.ttft() <= ttft_target) {
+            ++report.requestsInSlo;
+            report.goodputTokens +=
+                static_cast<std::uint64_t>(req.outputLength);
+        }
         if (req.outputLength > 1) {
             report.tbtUs.record(req.timeBetweenTokens() * 1e-3);
             cls.rep.tbtUs.record(req.timeBetweenTokens() * 1e-3);

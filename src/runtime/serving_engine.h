@@ -27,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "runtime/batch_scheduler.h"
+#include "runtime/fault_model.h"
 #include "runtime/latency_stats.h"
 #include "runtime/traffic.h"
 
@@ -49,10 +51,36 @@ class IterationLatencyModel
     virtual Cycle iterationCycles(const IterationSchedule &schedule) = 0;
 };
 
+/**
+ * Client retry behavior after an abandoned attempt (timeout or shed):
+ * the engine re-submits the request as a NEW arrival carrying an
+ * attempt counter, delayed by exponential backoff with jitter from a
+ * dedicated RNG stream (`seed ^ 0xbac0ffULL` — retry draws never
+ * perturb traffic or fault streams). maxRetries 0 (the default)
+ * disables retries entirely and draws nothing.
+ */
+struct ClientRetryConfig
+{
+    int maxRetries = 0; ///< re-submissions per original request
+    /** First retry delay; doubles each further attempt. 5 ms at the
+     * 1 GHz clock domain. */
+    Cycle backoffCycles = 5'000'000;
+    /** Uniform jitter fraction on top of the backoff (delay *=
+     * 1 + jitterFrac * U[0,1)), decorrelating retry storms. */
+    double jitterFrac = 0.25;
+    std::uint64_t seed = 42;
+
+    bool enabled() const { return maxRetries > 0; }
+};
+
 struct ServingConfig
 {
     SchedulerConfig scheduler;
     KvCacheConfig kv;
+    /** Fault injection (inert when no events are configured). */
+    FaultModelConfig fault;
+    /** Client retry-with-backoff behavior (disabled by default). */
+    ClientRetryConfig client;
 
     /** Safety horizon: stop even if requests remain (kCycleMax =
      * unbounded). */
@@ -87,6 +115,13 @@ struct IterationTraceRow
     int preemptedPool = 0;   ///< evictees still parked afterwards
     Bytes swapOutBytes = 0;  ///< swap traffic priced into the iteration
     Bytes swapInBytes = 0;
+    // --- fault/degradation columns (all 0 with faults, timeouts and
+    // shedding off; only the fault golden serializer prints them) ----
+    int timedOut = 0;        ///< client-deadline aborts at this boundary
+    int shed = 0;            ///< load-shedding gate victims
+    int retriesScheduled = 0; ///< backoff re-submissions queued
+    int faultPreempted = 0;  ///< force-evicted by channel loss
+    int offlineChannels = 0; ///< channels dark (failed or brownout)
 };
 
 /**
@@ -102,6 +137,10 @@ struct ClassServingReport
     int completed = 0;
     int dropped = 0;
     int preempted = 0; ///< distinct requests evicted at least once
+    // --- availability accounting (0 with the fault layer off) -------
+    int timedOut = 0; ///< abandoned at the client deadline
+    int shed = 0;     ///< rejected by the load-shedding gate
+    int retried = 0;  ///< backoff re-submissions (attempt > 0)
 
     /** Same units/sampling rules as the run-wide stats below. */
     LatencyStats ttftUs;
@@ -153,6 +192,31 @@ struct ServingReport
     Bytes swapOutBytes = 0;             ///< total host-link traffic out
     Bytes swapInBytes = 0;              ///< total host-link traffic in
 
+    // --- availability / degradation accounting (all 0 with faults,
+    // timeouts, retries and shedding off) ----------------------------
+    int requestsTimedOut = 0; ///< abandoned at the client deadline
+    int requestsShed = 0;     ///< rejected by the load-shedding gate
+    int requestsRetried = 0;  ///< backoff re-submissions (attempt > 0)
+    /** Tokens generated for attempts that never completed (timed out
+     * mid-flight, or recompute work redone after a fault eviction that
+     * ultimately timed out) — the throughput the failure burned. */
+    std::uint64_t wastedTokens = 0;
+    int channelsFailed = 0;      ///< permanent channel losses
+    int channelsBrownedOut = 0;  ///< transient offline events
+    std::uint64_t faultPreemptions = 0; ///< force-evictions by channel loss
+    std::uint64_t kvPagesLost = 0;      ///< capacity pages lost to failures
+    /** Time-to-recovery: fault boundary -> last force-evicted victim
+     * restored (or abandoned), one sample per fault event that evicted
+     * at least one request. */
+    LatencyStats recoveryUs;
+    /** Goodput: completed requests that also met BOTH their TTFT and
+     * per-token SLO targets, and the output tokens they produced. */
+    int requestsInSlo = 0;
+    std::uint64_t goodputTokens = 0;
+
+    /** SLO-attaining generation throughput over the makespan. */
+    double goodputTokensPerSecond() const;
+
     /** Latency distributions in microseconds. */
     LatencyStats ttftUs;
     /** TTFT decomposition: per-request queueing, prefill and
@@ -203,6 +267,7 @@ class ServingEngine
 
     const RequestPool &pool() const { return pool_; }
     const PagedKvCache &kv() const { return kv_; }
+    const FaultModel &fault() const { return fault_; }
 
   private:
     ServingConfig cfg_;
@@ -211,7 +276,9 @@ class ServingEngine
 
     RequestPool pool_;
     PagedKvCache kv_;
+    FaultModel fault_; ///< before scheduler_: it holds a pointer to it
     BatchScheduler scheduler_;
+    Rng retryRng_; ///< dedicated stream; drawn only when retries fire
     std::vector<IterationTraceRow> trace_;
     bool ran_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -51,6 +52,7 @@ TrafficModel::setClassMix(const ClassMix &mix, std::uint64_t seed)
 void
 TrafficModel::stampClass(ArrivalEvent &ev)
 {
+    ev.clientTimeout = clientTimeout_;
     if (mix_.empty())
         return;
     // Independent RNG stream: stamping classes never perturbs the
@@ -212,6 +214,41 @@ ReplayTraffic::fixedRate(const DatasetConfig &dataset,
     return std::make_unique<ReplayTraffic>("replay", std::move(events));
 }
 
+namespace {
+
+/** Strip surrounding spaces/tabs from a CSV field. */
+std::string
+trimField(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Parse one CSV field as a number, naming the file, line and field on
+ * any failure (empty field, trailing junk, non-numeric) instead of
+ * relying on a stream's aggregate fail() bit.
+ */
+double
+parseCsvField(const std::string &raw, const std::string &file,
+              int lineno, const char *field)
+{
+    std::string s = trimField(raw);
+    if (s.empty())
+        fatal(file, ":", lineno, ": empty field '", field, "'");
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        fatal(file, ":", lineno, ": field '", field,
+              "' is not a number: '", s, "'");
+    return v;
+}
+
+} // namespace
+
 std::unique_ptr<ReplayTraffic>
 ReplayTraffic::fromCsv(std::istream &in, std::string name)
 {
@@ -229,15 +266,43 @@ ReplayTraffic::fromCsv(std::istream &in, std::string name)
             continue;
         if (line.compare(start, 10, "arrival_us") == 0)
             continue; // header row
-        std::istringstream row(line.substr(start));
-        double arrival_us = 0.0;
-        int input = 0, output = 0;
-        char c1 = 0, c2 = 0;
-        row >> arrival_us >> c1 >> input >> c2 >> output;
-        if (row.fail() || c1 != ',' || c2 != ',' || arrival_us < 0.0 ||
-            input < 1 || output < 1) {
-            fatal("malformed trace row ", lineno, ": '", line, "'");
+        // Split the row on commas and diagnose each field by name —
+        // a malformed trace reports exactly what is wrong where
+        // (file:line: field), not just that some stream read failed.
+        const std::string row = line.substr(start);
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        while (true) {
+            std::size_t comma = row.find(',', pos);
+            fields.push_back(row.substr(pos, comma - pos));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
         }
+        if (fields.size() != 3)
+            fatal(name, ":", lineno, ": expected 3 fields "
+                  "(arrival_us,input_tokens,output_tokens), got ",
+                  fields.size(), ": '", line, "'");
+        double arrival_us =
+            parseCsvField(fields[0], name, lineno, "arrival_us");
+        if (arrival_us < 0.0)
+            fatal(name, ":", lineno,
+                  ": field 'arrival_us' must be >= 0, got ",
+                  arrival_us);
+        double input_d =
+            parseCsvField(fields[1], name, lineno, "input_tokens");
+        double output_d =
+            parseCsvField(fields[2], name, lineno, "output_tokens");
+        int input = static_cast<int>(input_d);
+        int output = static_cast<int>(output_d);
+        if (input_d != static_cast<double>(input) || input < 1)
+            fatal(name, ":", lineno, ": field 'input_tokens' must be "
+                  "a positive integer, got '", trimField(fields[1]),
+                  "'");
+        if (output_d != static_cast<double>(output) || output < 1)
+            fatal(name, ":", lineno, ": field 'output_tokens' must "
+                  "be a positive integer, got '", trimField(fields[2]),
+                  "'");
         // llround, not a truncating cast: 1.001 us is 1000.999...
         // after the multiply and must parse as cycle 1001 for the
         // writeCsv round trip to be lossless.

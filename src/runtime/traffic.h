@@ -49,6 +49,9 @@ struct ArrivalEvent
     int priorityClass = 0;
     Cycle ttftSlo = 0; ///< per-request TTFT target (cycles)
     Cycle tptSlo = 0;  ///< per-generated-token target (cycles)
+    /** Client deadline relative to arrival (cycles; 0 = infinitely
+     * patient — the engine never aborts). */
+    Cycle clientTimeout = 0;
 };
 
 /**
@@ -99,14 +102,25 @@ class TrafficModel
      */
     void setClassMix(const ClassMix &mix, std::uint64_t seed);
 
+    /**
+     * Stamp every subsequent arrival with a client deadline of
+     * @p timeout cycles after its arrival (0 = patient clients, the
+     * default — arrivals stay byte-identical to a timeout-less
+     * model). Uniform across classes; per-class deadlines can ride a
+     * ClassMix extension later.
+     */
+    void setClientTimeout(Cycle timeout) { clientTimeout_ = timeout; }
+
   protected:
-    /** Apply the mix (if any) to @p ev; called by next(). */
+    /** Apply the mix and client deadline (if any) to @p ev; called by
+     * next(). */
     void stampClass(ArrivalEvent &ev);
 
   private:
     ClassMix mix_;
     double shareSum_ = 0.0;
     Rng classRng_;
+    Cycle clientTimeout_ = 0;
 };
 
 /** Open-loop Poisson arrivals at @p requests_per_second. */

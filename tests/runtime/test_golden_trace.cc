@@ -506,5 +506,138 @@ TEST(GoldenServingTrace, RunToRunDeterminism)
     EXPECT_EQ(serializeServingRun(c), serializeServingRun(c));
 }
 
+// --- fault/degradation goldens ---------------------------------------------
+
+/**
+ * Inert-robustness byte-identity: explicitly constructing the whole
+ * fault layer — a FaultModel with no events, a retry config with
+ * maxRetries 0 (non-default backoff/jitter/seed knobs), a disarmed
+ * shedding gate, and a zero client timeout stamped through the
+ * traffic model — must reproduce the canonical phase-model golden
+ * byte-for-byte. The robustness refactor (and its dedicated RNG
+ * streams) is invisible until a fault, timeout, retry or watermark
+ * is actually armed; this test is what lets the fault streams claim
+ * seed hygiene.
+ */
+TEST(GoldenServingTrace, InertFaultLayerMatchesExistingGolden)
+{
+    GoldenServingCase c{"serving_neupims_sbi_poisson_sharegpt.txt",
+                        "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0,
+                        64};
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    traffic->setClientTimeout(0); // infinitely patient clients
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    cfg.fault = runtime::FaultModelConfig{};
+    cfg.fault.seed = 99; // resolved at construction, drawn only per event
+    cfg.client.maxRetries = 0;
+    cfg.client.backoffCycles = 1;
+    cfg.client.jitterFrac = 0.9;
+    cfg.client.seed = 123;
+    cfg.scheduler.shed = runtime::ShedConfig{};
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += phaseTraceRows(engine);
+    out += summaryLine(report);
+    // Compare only (never regenerate through this test): the file is
+    // owned by the canonical phase-model case above.
+    EXPECT_EQ(out, testing::readGolden(c.file));
+    EXPECT_EQ(report.requestsTimedOut, 0);
+    EXPECT_EQ(report.requestsShed, 0);
+    EXPECT_EQ(report.requestsRetried, 0);
+    EXPECT_EQ(report.channelsFailed, 0);
+}
+
+/** The fault trace block: pressure columns + availability columns. */
+std::string
+faultTraceRows(const runtime::ServingEngine &engine)
+{
+    std::string out =
+        "# iter,start,cycles,batch,prefilling,prefilltok,"
+        "admitted,retired,dropped,waiting,preempted,restored,"
+        "parked,timedout,shed,retries,faultpre,offline,maxload,"
+        "kvutil\n";
+    char line[320];
+    for (const auto &row : engine.trace()) {
+        std::snprintf(
+            line, sizeof(line),
+            "%d,%llu,%llu,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,"
+            "%d,%d,%.6g,%.6f\n",
+            row.iteration,
+            static_cast<unsigned long long>(row.startCycle),
+            static_cast<unsigned long long>(row.iterationCycles),
+            row.batch, row.prefilling, row.prefillTokens,
+            row.admitted, row.retired, row.dropped, row.waiting,
+            row.preempted, row.restored, row.preemptedPool,
+            row.timedOut, row.shed, row.retriesScheduled,
+            row.faultPreempted, row.offlineChannels,
+            row.maxChannelLoad, row.kvUtilization);
+        out += line;
+    }
+    return out;
+}
+
+/**
+ * Mid-run permanent channel failure on the over-capacity recompute
+ * setup (KV/6, 1.5x rate, clamped lengths): the victim channel's
+ * residents are force-preempted in recompute mode and re-dispatched
+ * to the surviving channels; the trace pins the failure boundary,
+ * the recovery re-dispatch, and the availability footer (DESIGN.md
+ * §10).
+ */
+TEST(GoldenServingTrace, FaultChannelFailureMatchesGolden)
+{
+    const GoldenServingCase c = kOverCapacityCase;
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    ds.maxLength = 320;
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::ServingOptions opt;
+    opt.preempt = "recompute";
+    opt.kvScale = 6;
+    opt.fault = "fail:40:3";
+    opt.faultSeed = 7;
+    core::applyServingOptions(cfg, opt);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# preempt=recompute victim=lifo kvscale=6 maxlen=320 "
+           "fault=fail:40:3\n";
+    out += faultTraceRows(engine);
+    out += summaryLine(report);
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "# fault channelsFailed=%d brownouts=%d faultPreempt=%llu "
+        "kvPagesLost=%llu timedOut=%d shed=%d retried=%d "
+        "wastedTok=%llu recoveryN=%d recoveryMaxUs=%.1f inSlo=%d "
+        "goodputTok=%llu\n",
+        report.channelsFailed, report.channelsBrownedOut,
+        static_cast<unsigned long long>(report.faultPreemptions),
+        static_cast<unsigned long long>(report.kvPagesLost),
+        report.requestsTimedOut, report.requestsShed,
+        report.requestsRetried,
+        static_cast<unsigned long long>(report.wastedTokens),
+        static_cast<int>(report.recoveryUs.count()),
+        report.recoveryUs.maxValue(), report.requestsInSlo,
+        static_cast<unsigned long long>(report.goodputTokens));
+    out += line;
+    testing::compareOrUpdateGolden(
+        "serving_fault_fail_sbi_poisson_sharegpt.txt", out);
+}
+
 } // namespace
 } // namespace neupims

@@ -161,5 +161,88 @@ TEST(RequestPool, ManyIterationsDrainEverything)
     EXPECT_EQ(pool.completedCount(), 20u);
 }
 
+// Every terminal path — completion, drop, timeout, shed — lands a
+// request in exactly one terminal bucket, and the census balances at
+// every step along the way.
+TEST(RequestPool, ConservationHoldsAcrossEveryTerminalPath)
+{
+    RequestPool pool;
+    auto done = pool.submit(2, 1);
+    auto dropped = pool.submit(3, 1);
+    auto timed_out = pool.submit(4, 1);
+    auto shed = pool.submit(5, 1);
+    auto preempted = pool.submit(6, 4);
+    EXPECT_TRUE(pool.conservationHolds());
+
+    // Timeout from the waiting queue; shed from the waiting queue.
+    pool.abandon(timed_out, RequestStatus::TimedOut);
+    EXPECT_TRUE(pool.conservationHolds());
+    pool.abandon(shed, RequestStatus::Shed);
+    EXPECT_TRUE(pool.conservationHolds());
+
+    // Drop a waiting request (never fits any channel).
+    pool.dropWaiting(dropped);
+    EXPECT_TRUE(pool.conservationHolds());
+
+    // Run the rest; time one out from the preempted queue mid-way.
+    pool.admit(2);
+    pool.completeIteration(); // retires `done` (1 output token)
+    EXPECT_TRUE(pool.conservationHolds());
+    pool.preempt(preempted, /*recompute=*/true);
+    EXPECT_TRUE(pool.conservationHolds());
+    pool.abandon(preempted, RequestStatus::TimedOut);
+    EXPECT_TRUE(pool.conservationHolds());
+
+    EXPECT_EQ(pool.completedCount(), 1u);
+    EXPECT_EQ(pool.droppedCount(), 1u);
+    EXPECT_EQ(pool.timedOutCount(), 2u);
+    EXPECT_EQ(pool.shedCount(), 1u);
+    EXPECT_EQ(pool.waitingCount(), 0u);
+    EXPECT_EQ(pool.runningCount(), 0u);
+    EXPECT_EQ(pool.preemptedCount(), 0u);
+    EXPECT_EQ(pool.request(done).status, RequestStatus::Done);
+    EXPECT_EQ(pool.request(dropped).status, RequestStatus::Dropped);
+    EXPECT_EQ(pool.request(timed_out).status,
+              RequestStatus::TimedOut);
+    EXPECT_EQ(pool.request(shed).status, RequestStatus::Shed);
+}
+
+// A running request can be abandoned too (the engine aborts mid-flight
+// at the client deadline and frees its KV), and its partial progress
+// stays frozen on the frozen record.
+TEST(RequestPool, AbandonFromRunningFreezesProgress)
+{
+    RequestPool pool;
+    auto id = pool.submit(2, 5);
+    pool.admit(1);
+    pool.completeIteration();
+    pool.completeIteration();
+    EXPECT_EQ(pool.request(id).generatedTokens, 2);
+    pool.abandon(id, RequestStatus::TimedOut);
+    EXPECT_TRUE(pool.conservationHolds());
+    EXPECT_EQ(pool.runningCount(), 0u);
+    EXPECT_EQ(pool.request(id).generatedTokens, 2);
+    EXPECT_EQ(pool.request(id).status, RequestStatus::TimedOut);
+}
+
+TEST(RequestPoolDeathTest, DoubleTerminalPanics)
+{
+    RequestPool pool;
+    auto id = pool.submit(1, 1);
+    pool.abandon(id, RequestStatus::Shed);
+    // Second terminal transition must die: terminal states are
+    // mutually exclusive, whatever the order.
+    EXPECT_DEATH(pool.abandon(id, RequestStatus::TimedOut),
+                 "not live");
+}
+
+TEST(RequestPoolDeathTest, AbandonRejectsNonAbandonTerminals)
+{
+    RequestPool pool;
+    auto id = pool.submit(1, 1);
+    EXPECT_DEATH(pool.abandon(id, RequestStatus::Done),
+                 "only timed-out/shed");
+}
+
 } // namespace
 } // namespace neupims::runtime

@@ -147,6 +147,8 @@ TEST(Traffic, CsvRoundTripsThroughWriteCsv)
     }
 }
 
+// The replay parser reports the file, line number and offending field
+// of a malformed row — not a generic stream-failure message.
 TEST(Traffic, MalformedCsvRowIsFatal)
 {
     EXPECT_EXIT(
@@ -154,7 +156,68 @@ TEST(Traffic, MalformedCsvRowIsFatal)
             std::istringstream in("100,notanumber,5\n");
             ReplayTraffic::fromCsv(in, "bad");
         },
-        ::testing::ExitedWithCode(1), "malformed trace row");
+        ::testing::ExitedWithCode(1),
+        "bad:1: field 'input_tokens' is not a number: 'notanumber'");
+}
+
+TEST(Traffic, MalformedCsvDiagnosticsNameFileLineAndField)
+{
+    // Wrong field count (valid rows before it pin the line number).
+    EXPECT_EXIT(
+        {
+            std::istringstream in("100,12,5\n200,30\n");
+            ReplayTraffic::fromCsv(in, "short");
+        },
+        ::testing::ExitedWithCode(1), "short:2: expected 3 fields");
+    // Extra field.
+    EXPECT_EXIT(
+        {
+            std::istringstream in("100,12,5,9\n");
+            ReplayTraffic::fromCsv(in, "long");
+        },
+        ::testing::ExitedWithCode(1), "long:1: expected 3 fields");
+    // Empty field.
+    EXPECT_EXIT(
+        {
+            std::istringstream in("100,,5\n");
+            ReplayTraffic::fromCsv(in, "hole");
+        },
+        ::testing::ExitedWithCode(1),
+        "hole:1: empty field 'input_tokens'");
+    // Negative arrival time.
+    EXPECT_EXIT(
+        {
+            std::istringstream in("-3,12,5\n");
+            ReplayTraffic::fromCsv(in, "neg");
+        },
+        ::testing::ExitedWithCode(1), "'arrival_us' must be >= 0");
+    // Fractional token count.
+    EXPECT_EXIT(
+        {
+            std::istringstream in("100,12.5,5\n");
+            ReplayTraffic::fromCsv(in, "frac");
+        },
+        ::testing::ExitedWithCode(1),
+        "'input_tokens' must be a positive integer");
+    // Zero output length.
+    EXPECT_EXIT(
+        {
+            std::istringstream in("100,12,0\n");
+            ReplayTraffic::fromCsv(in, "zero");
+        },
+        ::testing::ExitedWithCode(1),
+        "'output_tokens' must be a positive integer");
+    // Comment lines and the header don't advance data parsing but DO
+    // advance the reported line number.
+    EXPECT_EXIT(
+        {
+            std::istringstream in("arrival_us,input_tokens,output_tokens\n"
+                                  "# comment\n"
+                                  "100,12,x\n");
+            ReplayTraffic::fromCsv(in, "cmt");
+        },
+        ::testing::ExitedWithCode(1),
+        "cmt:3: field 'output_tokens' is not a number: 'x'");
 }
 
 TEST(Traffic, FactoryBuildsAllStandardKinds)
