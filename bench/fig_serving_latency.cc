@@ -46,16 +46,30 @@
  * wasted work and goodput under "fault_sweep" — what graceful
  * degradation costs and recovers (DESIGN.md §10).
  *
+ * A sixth sweep runs the cycle-accurate engine over the SBI grid
+ * (batch 256-768 x sequence 512-1536) once per DRAM arbitration
+ * policy (frfcfs, pim-frfcfs, paws), least-squares fits the analytic
+ * model's SBI overlap hide fraction against the measured per-layer
+ * periods, and emits per-point residuals plus the controller's
+ * scheduling statistics (row-hit rate, stall/waste integrals, mode
+ * switches) under "mem_sched_sweep" — the calibration evidence behind
+ * calibratedSbiHideFraction (DESIGN.md §11).
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/batch_builder.h"
+#include "core/executor.h"
+#include "core/iteration_model.h"
 #include "core/serving_setup.h"
+#include "dram/mem_sched.h"
 #include "runtime/serving_engine.h"
 #include "runtime/traffic.h"
 
@@ -558,6 +572,171 @@ main()
         emitLatency(json, "ttft_ms", report.ttftUs, 1e-3, true);
         emitLatency(json, "e2e_ms", report.e2eUs, 1e-3, false);
         std::fprintf(json, "    }");
+        first = false;
+    }
+
+    std::fprintf(json, "\n  ],\n  \"mem_sched_sweep\": [\n");
+
+    // --- Memory-scheduler sweep: engine grid, hide-fraction fit ----
+    // For each arbitration policy, measure the SBI per-layer period
+    // on the engine grid and report two analytic recalibrations
+    // against it: (a) the best CONSTANT hide fraction — a linear
+    // least-squares fit E ~= a*serial - b*hideable, f = b/a — whose
+    // residual shows why no constant closes the gap, and (b) the
+    // per-point effective fractions f_eff = (serial - E)/hideable
+    // that the calibrated surface in calibratedSbiHideFraction
+    // hardcodes, evaluated through the shipping model (surface +
+    // anchor calibration at the first grid point).
+    std::printf("\n=== Memory-scheduler sweep (NeuPIMs+SBI engine "
+                "grid, %s) ===\n\n",
+                llm.name.c_str());
+    std::printf("%-11s %5s %5s | %10s %6s | %7s %7s | %7s %9s %9s "
+                "%6s\n",
+                "sched", "batch", "seq", "meas/lyr", "f-eff",
+                "r-const", "r-surf", "row-hit", "pim-stall",
+                "pim-waste", "mode");
+
+    std::vector<int> grid_batches = {256, 384, 512, 768};
+    std::vector<int> grid_seqs = {512, 1024, 1536};
+    if (bench::fastMode()) {
+        grid_batches = {256, 512};
+        grid_seqs = {512, 1024};
+    }
+    const int sbi_layers = llm.layersPerDevice(llm.defaultPp);
+    const std::vector<dram::MemSchedKind> kinds = {
+        dram::MemSchedKind::FrFcfs, dram::MemSchedKind::PimFrFcfs,
+        dram::MemSchedKind::Paws};
+    first = true;
+    for (auto kind : kinds) {
+        auto dev = backend.device; // NeuPIMs+SBI
+        dev.memSched.kind = kind;
+        dev.flags.channelSymmetry = true; // bit-identical fast path
+        const char *sched_name = dram::memSchedKindName(kind);
+        core::AnalyticIterationModel analytic(dev, llm, llm.defaultTp,
+                                              sbi_layers);
+
+        struct GridPoint
+        {
+            int batch, seq;
+            double measured; // engine per-layer period
+            double serial, hideable;
+            double rowHit, bankUtil;
+            dram::MemSchedStats stats;
+        };
+        std::vector<GridPoint> pts;
+        double sum_ss = 0, sum_sm = 0, sum_mm = 0;
+        double sum_es = 0, sum_em = 0;
+        for (int b : grid_batches) {
+            for (int s : grid_seqs) {
+                auto comp =
+                    core::uniformComposition(b, s, dev.org.channels);
+                core::DeviceExecutor exec(dev, llm, llm.defaultTp,
+                                          sbi_layers);
+                auto res = exec.runIteration(comp, 3, 1);
+                GridPoint p;
+                p.batch = b;
+                p.seq = s;
+                p.measured = static_cast<double>(res.perLayerCycles);
+                analytic.sbiComponents(comp, p.serial, p.hideable);
+                p.rowHit = res.rowHitRate;
+                p.bankUtil = res.memBankUtil;
+                p.stats = res.memSched;
+                sum_ss += p.serial * p.serial;
+                sum_sm += p.serial * p.hideable;
+                sum_mm += p.hideable * p.hideable;
+                sum_es += p.measured * p.serial;
+                sum_em += p.measured * p.hideable;
+                pts.push_back(p);
+            }
+        }
+
+        // Normal equations of E = a*s - b*m:
+        //   a*sum_ss - b*sum_sm = sum_es
+        //   a*sum_sm - b*sum_mm = sum_em
+        double det = sum_sm * sum_sm - sum_ss * sum_mm;
+        double fit_a = 1.0, fit_b = 0.25;
+        if (std::fabs(det) > 1e-9) {
+            fit_a = (sum_sm * sum_em - sum_mm * sum_es) / det;
+            fit_b = (sum_ss * sum_em - sum_sm * sum_es) / det;
+        }
+        double fitted =
+            fit_a > 0 ? std::min(1.0, std::max(0.0, fit_b / fit_a))
+                      : 0.25;
+
+        // Shipping model: calibrated surface (auto) + scale anchor.
+        analytic.setSbiHideFraction(-1.0);
+        analytic.setScale(1.0);
+        analytic.calibrate(grid_batches.front(), grid_seqs.front());
+
+        double max_const = 0.0, max_surf = 0.0;
+        std::vector<double> r_const(pts.size()), r_surf(pts.size()),
+            f_eff(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const auto &p = pts[i];
+            auto comp = core::uniformComposition(p.batch, p.seq,
+                                                 dev.org.channels);
+            double pred_const =
+                fit_a * p.serial - fit_b * p.hideable;
+            double pred_surf = static_cast<double>(
+                analytic.perLayerCyclesFor(comp));
+            r_const[i] = pred_const / p.measured - 1.0;
+            r_surf[i] = pred_surf / p.measured - 1.0;
+            f_eff[i] = p.hideable > 0
+                           ? (p.serial - p.measured) / p.hideable
+                           : 0.0;
+            max_const = std::max(max_const, std::fabs(r_const[i]));
+            max_surf = std::max(max_surf, std::fabs(r_surf[i]));
+            std::printf(
+                "%-11s %5d %5d | %10.0f %6.3f | %+6.2f%% %+6.2f%% | "
+                "%6.1f%% %9llu %9llu %6llu\n",
+                sched_name, p.batch, p.seq, p.measured, f_eff[i],
+                r_const[i] * 100.0, r_surf[i] * 100.0,
+                p.rowHit * 100.0,
+                static_cast<unsigned long long>(
+                    p.stats.pimStallCycles),
+                static_cast<unsigned long long>(
+                    p.stats.pimWasteCycles),
+                static_cast<unsigned long long>(
+                    p.stats.modeSwitches));
+        }
+        std::printf("%-11s best constant f %.4f leaves max residual "
+                    "%.2f%%; calibrated surface %.2f%%\n",
+                    sched_name, fitted, max_const * 100.0,
+                    max_surf * 100.0);
+
+        std::fprintf(
+            json,
+            "%s    {\n      \"sched\": \"%s\", "
+            "\"const_fit_hide_fraction\": %.4f,\n"
+            "      \"const_fit_max_residual_pct\": %.3f, "
+            "\"surface_max_residual_pct\": %.3f,\n"
+            "      \"anchor\": {\"batch\": %d, \"seq\": %d},\n"
+            "      \"points\": [\n",
+            first ? "" : ",\n", sched_name, fitted,
+            max_const * 100.0, max_surf * 100.0,
+            grid_batches.front(), grid_seqs.front());
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const auto &p = pts[i];
+            std::fprintf(
+                json,
+                "        {\"batch\": %d, \"seq\": %d, "
+                "\"measured_per_layer\": %.0f, "
+                "\"effective_hide_fraction\": %.4f,\n"
+                "         \"const_residual_pct\": %.3f, "
+                "\"surface_residual_pct\": %.3f,\n"
+                "         \"row_hit_rate\": %.4f, \"mem_bank_util\": "
+                "%.4f, \"pim_stall_cycles\": %llu,\n"
+                "         \"pim_waste_cycles\": %llu, "
+                "\"mode_switches\": %llu}%s\n",
+                p.batch, p.seq, p.measured, f_eff[i],
+                r_const[i] * 100.0, r_surf[i] * 100.0, p.rowHit,
+                p.bankUtil,
+                static_cast<unsigned long long>(p.stats.pimStallCycles),
+                static_cast<unsigned long long>(p.stats.pimWasteCycles),
+                static_cast<unsigned long long>(p.stats.modeSwitches),
+                i + 1 < pts.size() ? "," : "");
+        }
+        std::fprintf(json, "      ]\n    }");
         first = false;
     }
 

@@ -16,6 +16,7 @@
  *                 [--model NAME] [--backend NAME] [--traffic KIND]
  *                 [--dataset NAME] [--trace FILE.csv] [--measured]
  *                 [--calibrate] [--dump-trace]
+ *                 [--mem-sched frfcfs|pim-frfcfs|paws]
  *                 [--prefill legacy|whole|chunked] [--chunk N]
  *                 [--no-piggyback]
  *                 [--preempt off|recompute|swap]
@@ -44,6 +45,16 @@
  * pages in a host tier over a --swap-gbps link. --victim picks the
  * eviction order; --kv-scale shrinks device KV capacity by an integer
  * factor to drive over-capacity scenarios without changing traffic.
+ *
+ * --mem-sched selects the DRAM command-arbitration policy of every
+ * backend's memory controllers (dram/mem_sched.h): frfcfs is the
+ * paper's arbitration (bit-identical to the historical engine),
+ * pim-frfcfs drains PIM at row-buffer-friendly priority, paws runs
+ * PAWS-style cap-and-switch MEM<->PIM modes. The choice also selects
+ * the analytic model's calibrated SBI overlap surface. Runs whose
+ * latency model executed the cycle-accurate engine (--measured, or
+ * --calibrate's anchor) print a mem-sched summary line (row-hit rate,
+ * stall/waste cycles, mode switches) under the config row.
  *
  * --policy selects the scheduling policy that owns admission order,
  * prefill-budget sharing, victim scoring and restore order (fcfs
@@ -103,6 +114,7 @@ struct Options
     int kvScale = 1;
     std::string policy = "fcfs";
     std::string classes = "uniform";
+    std::string memSched = "frfcfs";
     double sloTtftMs = 250.0;
     double sloTptMs = 25.0;
     double agingMs = 50.0;
@@ -163,6 +175,7 @@ usage(const char *argv0)
         "[--dump-trace]\n"
         "          [--prefill legacy|whole|chunked] [--chunk N] "
         "[--no-piggyback]\n"
+        "          [--mem-sched frfcfs|pim-frfcfs|paws]\n"
         "          [--preempt off|recompute|swap] [--victim "
         "lifo|fewest|longest]\n"
         "          [--swap-gbps F] [--kv-scale N] [--policy "
@@ -223,6 +236,8 @@ main(int argc, char **argv)
             opt.kvScale = std::atoi(value());
         else if (arg == "--policy")
             opt.policy = value();
+        else if (arg == "--mem-sched")
+            opt.memSched = value();
         else if (arg == "--classes")
             opt.classes = value();
         else if (arg == "--slo-ttft-ms")
@@ -272,6 +287,8 @@ main(int argc, char **argv)
         backends = core::standardServingBackends();
     else
         backends.push_back(core::servingBackendByName(opt.backend));
+    for (auto &b : backends)
+        core::applyMemSched(b.device, opt.memSched);
 
     std::vector<std::string> traffics;
     if (opt.traffic == "all")
@@ -297,7 +314,8 @@ main(int argc, char **argv)
     std::printf("NeuPIMs closed-loop serving: %s, %d requests, "
                 "seed %llu, %s iteration model, %s prefill"
                 " (chunk %d%s), %s preemption (victim %s, "
-                "%.0f GB/s%s), %s policy (%s classes)\n\n",
+                "%.0f GB/s%s), %s policy (%s classes), "
+                "%s mem-sched\n\n",
                 llm.name.c_str(), opt.requests,
                 static_cast<unsigned long long>(opt.seed),
                 opt.measured ? "measured" : "analytic",
@@ -305,7 +323,8 @@ main(int argc, char **argv)
                 opt.piggyback ? ", piggyback" : "",
                 opt.preempt.c_str(), opt.victim.c_str(), opt.swapGbps,
                 opt.kvScale > 1 ? ", shrunk KV" : "",
-                opt.policy.c_str(), opt.classes.c_str());
+                opt.policy.c_str(), opt.classes.c_str(),
+                opt.memSched.c_str());
     std::printf("%-12s %-8s %-9s %5s %9s %9s %6s | %8s %8s %8s | "
                 "%8s %8s %8s | %8s %8s | %6s | %4s %4s %7s | %s\n",
                 "backend", "traffic", "dataset", "done", "span(ms)",
@@ -421,6 +440,37 @@ main(int argc, char **argv)
                         static_cast<int>(report.recoveryUs.count()),
                         report.requestsInSlo,
                         report.goodputTokensPerSecond());
+                }
+
+                // DRAM arbitration summary whenever the latency
+                // model ran the cycle-accurate memory system
+                // (--measured accumulates it over cache-miss runs,
+                // --calibrate carries its anchor run's stats).
+                if (report.memSched.valid) {
+                    std::printf(
+                        "    mem-sched %s: row-hit %.1f%% "
+                        "(h/m/c %llu/%llu/%llu) | cmds mem %llu "
+                        "pim %llu | stall %llu waste %llu | "
+                        "switches %llu | bank-util %.1f%%\n",
+                        report.memSched.policy.c_str(),
+                        report.memSched.rowHitRate * 100.0,
+                        static_cast<unsigned long long>(
+                            report.memSched.rowHits),
+                        static_cast<unsigned long long>(
+                            report.memSched.rowMisses),
+                        static_cast<unsigned long long>(
+                            report.memSched.rowConflicts),
+                        static_cast<unsigned long long>(
+                            report.memSched.memCommands),
+                        static_cast<unsigned long long>(
+                            report.memSched.pimCommands),
+                        static_cast<unsigned long long>(
+                            report.memSched.pimStallCycles),
+                        static_cast<unsigned long long>(
+                            report.memSched.pimWasteCycles),
+                        static_cast<unsigned long long>(
+                            report.memSched.modeSwitches),
+                        report.memSched.memBankUtil * 100.0);
                 }
 
                 // Per-class breakdown whenever the run actually has

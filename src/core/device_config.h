@@ -97,11 +97,21 @@ struct DeviceConfig
      */
     double rigidLayoutFactor = 1.25;
 
+    /**
+     * MEM vs PIM command arbitration (dram/mem_sched.h). FrFcfs is
+     * the paper's policy and golden-locked; PimFrFcfs and Paws open
+     * the co-scheduling design space at the command level. The choice
+     * also selects the analytic model's calibrated SBI overlap anchor
+     * (iteration_model.cc).
+     */
+    dram::MemSchedConfig memSched;
+
     /** Build the per-channel controller configuration. */
     dram::ControllerConfig
     controllerConfig() const
     {
         auto cfg = dram::ControllerConfig::make(flags.dualRowBuffers);
+        cfg.sched = memSched;
         return cfg;
     }
 

@@ -79,10 +79,11 @@ class IterationSim
 {
   public:
     IterationSim(DeviceExecutor &ex, const BatchComposition &batch,
-                 int window_layers, int warmup_layers)
+                 int window_layers, int warmup_layers,
+                 const ExtraMemTraffic &extra)
         : ex_(ex), cfg_(ex.cfg_), eq_(*ex.eq_), hbm_(*ex.hbm_),
-          npu_(*ex.npu_), dma_(*ex.dma_), windowLayers_(window_layers),
-          warmupLayers_(warmup_layers)
+          npu_(*ex.npu_), dma_(*ex.dma_), extra_(extra),
+          windowLayers_(window_layers), warmupLayers_(warmup_layers)
     {
         if (usesSubBatchInterleaving(cfg_, batch)) {
             threads_.emplace_back(
@@ -105,6 +106,7 @@ class IterationSim
     {
         for (std::size_t i = 0; i < threads_.size(); ++i)
             startGemmPhase(static_cast<int>(i), 0);
+        launchExtraTraffic();
         eq_.run();
         for (const auto &t : threads_)
             NEUPIMS_ASSERT(t.layer == windowLayers_,
@@ -149,8 +151,35 @@ class IterationSim
     Flops flopsAtWarmup_ = 0.0;
     Cycle pimBusyAtWarmup_ = 0;
     PhaseBreakdown phases_;
+    Cycle extraEnd_ = 0; ///< last ExtraMemTraffic row completion
 
   private:
+    /**
+     * Inject the out-of-band streams at cycle 0: swap-outs are reads
+     * (KV pages leave HBM for the host tier), swap-ins writes, and
+     * the prefill weight stream reads — all page-granular so they
+     * compete with PIM GEMV at full row-buffer locality, exactly the
+     * contention the MemSchedPolicy arbitrates.
+     */
+    void
+    launchExtraTraffic()
+    {
+        if (!extra_.any())
+            return;
+        int dense = hbm_.config().org.burstsPerRow();
+        auto done = [this](Cycle c) {
+            extraEnd_ = std::max(extraEnd_, c);
+        };
+        if (extra_.swapOutBytes > 0)
+            dma_.streamAllChannels(extra_.swapOutBytes, false, dense,
+                                   done);
+        if (extra_.swapInBytes > 0)
+            dma_.streamAllChannels(extra_.swapInBytes, true, dense,
+                                   done);
+        if (extra_.prefillWeightBytes > 0)
+            dma_.streamAllChannels(extra_.prefillWeightBytes, false,
+                                   dense, done);
+    }
     /**
      * An in-flight weight prefetch. The next layer's GEMM consumes
      * the credit even when the stream has not yet completed — it
@@ -693,6 +722,7 @@ class IterationSim
     dram::HbmStack &hbm_;
     npu::Npu &npu_;
     npu::DmaEngine &dma_;
+    ExtraMemTraffic extra_;
 
     int windowLayers_;
     int warmupLayers_;
@@ -717,6 +747,15 @@ IterationResult
 DeviceExecutor::runIteration(const BatchComposition &batch,
                              int window_layers, int warmup_layers)
 {
+    return runIteration(batch, ExtraMemTraffic{}, window_layers,
+                        warmup_layers);
+}
+
+IterationResult
+DeviceExecutor::runIteration(const BatchComposition &batch,
+                             const ExtraMemTraffic &extra,
+                             int window_layers, int warmup_layers)
+{
     NEUPIMS_ASSERT(window_layers > warmup_layers && warmup_layers >= 1);
     // Never simulate more layers than the device actually holds.
     if (window_layers > layersPerDevice_ && layersPerDevice_ >= 2)
@@ -736,7 +775,7 @@ DeviceExecutor::runIteration(const BatchComposition &batch,
     npu_ = std::make_unique<npu::Npu>(cfg_.npu);
     dma_ = std::make_unique<npu::DmaEngine>(*eq_, *hbm_);
 
-    IterationSim sim(*this, batch, window_layers, warmup_layers);
+    IterationSim sim(*this, batch, window_layers, warmup_layers, extra);
     sim.run();
     sim.finalizePhases();
 
@@ -772,6 +811,10 @@ DeviceExecutor::runIteration(const BatchComposition &batch,
     res.pimBankBusyCycles = hbm_->totalPimBankBusyCycles();
     res.commands = hbm_->totalCommandCounts();
     res.phases = sim.phases_;
+    res.memSched = hbm_->totalMemSchedStats();
+    res.rowHitRate = res.memSched.rowHitRate();
+    res.memBankUtil = hbm_->memBankUtilization(warm_end, end);
+    res.extraTrafficEndCycle = sim.extraEnd_;
     return res;
 }
 

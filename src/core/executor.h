@@ -55,6 +55,28 @@ struct BatchComposition
     }
 };
 
+/**
+ * Out-of-band memory traffic injected into the iteration window as
+ * explicit per-channel MemJobs — it contends with the iteration's own
+ * weight/KV/PIM command streams on the same channels instead of being
+ * priced as a bandwidth-only analytic term. Used to model KV swap
+ * traffic (preemption, PR 4) and piggybacked prefill weight streaming
+ * at command-level fidelity.
+ */
+struct ExtraMemTraffic
+{
+    Bytes swapInBytes = 0;        ///< host->HBM KV restores (writes)
+    Bytes swapOutBytes = 0;       ///< HBM->host KV evictions (reads)
+    Bytes prefillWeightBytes = 0; ///< prompt-pass weight stream (reads)
+
+    bool
+    any() const
+    {
+        return swapInBytes > 0 || swapOutBytes > 0 ||
+               prefillWeightBytes > 0;
+    }
+};
+
 /** Phase-level breakdown of one measured decoder layer (Fig. 6). */
 struct PhaseBreakdown
 {
@@ -82,6 +104,13 @@ struct IterationResult
     Cycle pimBankBusyCycles = 0;
     dram::CommandCounts commands;
     PhaseBreakdown phases; ///< serial modes only (phases overlap in SBI)
+
+    /** Summed controller scheduling stats (dram/mem_sched.h). */
+    dram::MemSchedStats memSched;
+    double rowHitRate = 0.0;  ///< MEM jobs that found their row open
+    double memBankUtil = 0.0; ///< mean per-bank MEM data service
+    /** Completion cycle of injected ExtraMemTraffic (0 if none). */
+    Cycle extraTrafficEndCycle = 0;
 };
 
 class DeviceExecutor
@@ -102,6 +131,13 @@ class DeviceExecutor
      * steady-state measurement) and compose the full iteration.
      */
     IterationResult runIteration(const BatchComposition &batch,
+                                 int window_layers = 3,
+                                 int warmup_layers = 1);
+
+    /** As above, with out-of-band traffic (KV swap, prefill weight
+     * streams) contending at the command level. */
+    IterationResult runIteration(const BatchComposition &batch,
+                                 const ExtraMemTraffic &extra,
                                  int window_layers = 3,
                                  int warmup_layers = 1);
 

@@ -109,6 +109,36 @@ class AnalyticIterationModel : public runtime::IterationLatencyModel
     double scale() const { return scale_; }
     void setScale(double scale) { scale_ = scale; }
 
+    /** DRAM arbitration stats of the calibration anchor's engine run
+     * (invalid until calibrate() has been called). */
+    runtime::MemSchedSummary
+    memSchedSummary() const override
+    {
+        return memSchedSummary_;
+    }
+
+    /**
+     * The SBI overlap hide fraction override: what share of
+     * min(both threads' MHA, both threads' non-MHA) the pipeline
+     * hides per layer. Negative (the default) selects the per-(device
+     * policy, composition) calibrated surface measured from the
+     * engine grid (calibratedSbiHideFraction); setting a fixed value
+     * reproduces the historical constant-fraction model (0.25 was the
+     * shipped constant, with its ±9% residual) — used by the
+     * mem_sched_sweep fitting pass and the regression tests.
+     */
+    double sbiHideFraction() const { return sbiHideFraction_; }
+    void setSbiHideFraction(double f) { sbiHideFraction_ = f; }
+
+    /**
+     * Scale-free SBI overlap components of @p comp: @p serial is the
+     * summed serial cost of both sub-batches (s1 + s2), @p hideable
+     * is min(mha, serial - mha) — the span the hide fraction
+     * multiplies. Exposed for the mem_sched_sweep least-squares fit.
+     */
+    void sbiComponents(const BatchComposition &comp, double &serial,
+                       double &hideable);
+
   private:
     /** Cycles of one layer executed serially (no SBI). */
     double serialLayerCycles(const model::LayerPlan &plan,
@@ -141,7 +171,44 @@ class AnalyticIterationModel : public runtime::IterationLatencyModel
     npu::VectorUnitPool vuPool_;
     runtime::MhaLatencyEstimator estimator_;
     double scale_ = 1.0;
+    double sbiHideFraction_;
+    runtime::MemSchedSummary memSchedSummary_;
 };
+
+/**
+ * Calibrated SBI overlap hide fraction for @p cfg's arbitration
+ * policy at one composition point: bilinear interpolation (edge
+ * clamped) over the effective fractions measured from the engine grid
+ * — per-channel sub-batch size {4, 6, 8, 12} x KV length {512, 1024,
+ * 1536}, i.e. batch 256-768 x sequence 512-1536 on the 32-channel
+ * device (see bench/fig_serving_latency.cc mem_sched_sweep and
+ * DESIGN.md §11). The measured surface is strongly batch-dependent
+ * (near zero at 4 requests/channel/sub-batch, where the pipeline has
+ * no interleaving grain, rising to policy-specific plateaus), which
+ * is why the historical constant 0.25 left a ±9% gap no constant can
+ * close. Perf-only flags (channelSymmetry) do not affect the lookup.
+ *
+ * @param per_channel_sub_batch decode requests per channel in ONE
+ *        Algorithm-3 sub-batch (batch / (2 x channels) for a uniform
+ *        split)
+ * @param kv_len mean KV context length of the batch
+ */
+double calibratedSbiHideFraction(const DeviceConfig &cfg,
+                                 double per_channel_sub_batch,
+                                 double kv_len);
+
+/** Grid-mean calibrated hide fraction of @p cfg's policy (reporting
+ * and coarse comparisons; the model itself uses the surface). */
+double calibratedSbiHideFraction(const DeviceConfig &cfg);
+
+/**
+ * Process-wide count of memoized calibration anchors (testing). Each
+ * distinct (masked device signature, model, tp, layers, batch, seq,
+ * window) measured by AnalyticIterationModel::calibrate adds one;
+ * repeated calibrations — including across the channelSymmetry fast
+ * path, which is masked out of the key — reuse the stored anchor.
+ */
+std::size_t calibrationAnchorCount();
 
 class MeasuredIterationModel : public runtime::IterationLatencyModel
 {
@@ -178,6 +245,10 @@ class MeasuredIterationModel : public runtime::IterationLatencyModel
     std::uint64_t cacheHits() const { return hits_; }
     std::uint64_t cacheMisses() const { return misses_; }
 
+    /** DRAM arbitration stats accumulated over the cache-miss engine
+     * runs (invalid until the first miss). */
+    runtime::MemSchedSummary memSchedSummary() const override;
+
   private:
     BatchComposition quantized(const BatchComposition &comp) const;
 
@@ -190,6 +261,9 @@ class MeasuredIterationModel : public runtime::IterationLatencyModel
     std::uint64_t misses_ = 0;
     /** Last measured/analytic decode ratio (prefill-only anchor). */
     double measuredOverAnalytic_ = 1.0;
+    /** Scheduling stats summed over miss runs (memSchedSummary). */
+    dram::MemSchedStats memSchedAccum_;
+    double bankUtilSum_ = 0.0;
 };
 
 /** Build @p schedule's composition (full batch + Algorithm-3 subs). */

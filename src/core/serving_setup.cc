@@ -95,6 +95,16 @@ scaleKvCapacity(runtime::ServingConfig &cfg, int denominator)
     cfg.kv.bytesPerChannel /= static_cast<Bytes>(denominator);
 }
 
+void
+applyMemSched(DeviceConfig &dev, const std::string &name)
+{
+    dram::MemSchedKind kind;
+    if (!dram::parseMemSchedKind(name, kind))
+        fatal("unknown memory scheduler '", name,
+              "' (expected frfcfs|pim-frfcfs|paws)");
+    dev.memSched.kind = kind;
+}
+
 std::unique_ptr<runtime::IterationLatencyModel>
 makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
                    bool measured, int quantize_seq)

@@ -60,6 +60,15 @@ makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
                    bool measured = false, int quantize_seq = 64);
 
 /**
+ * Apply a --mem-sched policy name ("frfcfs" | "pim-frfcfs" | "paws",
+ * dram/mem_sched.h) onto @p dev — the knob selects both the
+ * controller's command arbitration and the analytic model's
+ * calibrated SBI overlap surface. fatal() on unknown names; "frfcfs"
+ * reproduces the historical device bit-for-bit.
+ */
+void applyMemSched(DeviceConfig &dev, const std::string &name);
+
+/**
  * Everything a serving driver configures beyond the backend/model
  * pair, in one documented struct applied by applyServingOptions —
  * replacing the former applyPreemptConfig string/double

@@ -19,7 +19,9 @@ MemoryController::MemoryController(EventQueue &eq,
                                    const TimingParams &timing,
                                    const Organization &org,
                                    ControllerConfig cfg)
-    : eq_(eq), cfg_(cfg), channel_(timing, org, cfg.dualRowBuffers)
+    : eq_(eq), cfg_(cfg), channel_(timing, org, cfg.dualRowBuffers),
+      sched_(makeMemSchedPolicy(cfg.sched)),
+      memBankBusyCycles_(static_cast<std::size_t>(channel_.numBanks()), 0)
 {
     NEUPIMS_ASSERT(channel_.numBanks() <= 64,
                    "bank occupancy mask holds at most 64 banks");
@@ -232,6 +234,13 @@ MemoryController::stepMem(int which)
 
     if (m.phase == MemExec::Phase::PreOrAct) {
         int open = bank.openRow(BufferSide::Mem);
+        if (!m.classified) {
+            sched_->noteRowOutcome(m.job.bank, m.job.row,
+                                   open == m.job.row ? RowOutcome::Hit
+                                   : open != -1      ? RowOutcome::Conflict
+                                                     : RowOutcome::Miss);
+            m.classified = true;
+        }
         if (open == m.job.row) {
             m.phase = MemExec::Phase::Bursts; // row hit, fall through
         } else if (open != -1) {
@@ -250,6 +259,8 @@ MemoryController::stepMem(int which)
                     : channel_.issueRead(m.job.bank, BufferSide::Mem, lb);
     (void)cmd;
     m.lastBurstEnd = data_end;
+    memBankBusyCycles_[static_cast<std::size_t>(m.job.bank)] +=
+        channel_.timing().tBL;
     if (++m.burstsDone == m.job.bursts) {
         banksBusyMask_ &= ~(1ULL << m.job.bank);
         finishMem(m);
@@ -265,6 +276,7 @@ void
 MemoryController::finishMem(MemExec &exec)
 {
     ++completedMemJobs_;
+    sched_->noteMemJobCompleted();
     memQueueDelay_.sample(
         static_cast<double>(exec.lastBurstEnd - exec.enqueued));
     // Callback contract: invoked as soon as the completion cycle is
@@ -456,10 +468,39 @@ MemoryController::process()
         int mem_idx = -1;
         Cycle cm = candidateMem(mem_idx);
         Cycle cp = candidatePim();
-        Cycle cand = std::min(cm, cp);
-        if (cand == kCycleMax)
+        if (cm == kCycleMax && cp == kCycleMax)
             return; // idle: nothing queued or in flight
 
+        ArbView v;
+        v.cm = cm;
+        v.cp = cp;
+        v.now = eq_.now();
+        v.memPending = pendingMemJobs();
+        v.pimPending = pendingPimJobs();
+        if (mem_idx >= 0) {
+            const auto &m = memInFlight_[mem_idx];
+            v.memBank = m.job.bank;
+            v.memRow = m.job.row;
+            v.memIsRowHit =
+                m.phase == MemExec::Phase::Bursts ||
+                channel_.bank(m.job.bank).openRow(BufferSide::Mem) ==
+                    m.job.row;
+        }
+
+        // The policy arbitrates only when both classes hold a legal
+        // command; a lone class always issues (no policy can idle the
+        // channel's only available work). Under FR-FCFS the chosen
+        // candidate is min(cm, cp) — PIM takes priority on ties
+        // (§5.3) — reproducing the historical schedule bit-for-bit.
+        bool pick_pim;
+        if (cp == kCycleMax)
+            pick_pim = false;
+        else if (cm == kCycleMax)
+            pick_pim = true;
+        else
+            pick_pim = sched_->choosePim(v);
+
+        Cycle cand = pick_pim ? cp : cm;
         if (maybeRefresh(cand))
             continue; // constraints changed; recompute candidates
 
@@ -480,8 +521,8 @@ MemoryController::process()
             return;
         }
 
-        // PIM commands take priority on ties (§5.3).
-        if (cp <= cm)
+        sched_->recordIssue(v, pick_pim);
+        if (pick_pim)
             stepPim();
         else
             stepMem(mem_idx);

@@ -22,6 +22,20 @@
  * controller never commits bus slots more than `horizon` cycles ahead
  * of simulated time, so a PIM kernel arriving mid-phase observes at
  * most `horizon` cycles of priority staleness.
+ *
+ * Committed-schedule lifetime: a schedule (and its horizon-ahead
+ * commitments) lives exactly as long as the controller object. The
+ * executor rebuilds every controller per runIteration() call, and the
+ * serving layer's channel-failure path (PagedKvCache::failChannel)
+ * operates on capacity only — no MemoryController exists across a
+ * failure, so an in-flight committed schedule can never be replayed
+ * onto a failed channel. tests/runtime/test_controller_lifecycle.cc
+ * locks this invariant.
+ *
+ * Arbitration between the two classes is pluggable (MemSchedPolicy,
+ * dram/mem_sched.h): FR-FCFS reproduces the historical choice rule
+ * bit-for-bit; PIM-FRFCFS and PAWS bias toward PIM with explicit
+ * starvation caps and mode switching.
  */
 
 #ifndef NEUPIMS_DRAM_CONTROLLER_H_
@@ -37,6 +51,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/channel.h"
+#include "dram/mem_sched.h"
 
 namespace neupims::dram {
 
@@ -90,6 +105,9 @@ struct ControllerConfig
      */
     int memIssueWindow = 8;
 
+    /** Arbitration policy between MEM and PIM command classes. */
+    MemSchedConfig sched;
+
     static ControllerConfig
     make(bool dual_row_buffers)
     {
@@ -127,6 +145,17 @@ class MemoryController
     std::uint64_t completedMemJobs() const { return completedMemJobs_; }
     std::uint64_t completedPimJobs() const { return completedPimJobs_; }
 
+    /** The active arbitration policy and its scheduling statistics. */
+    const MemSchedPolicy &memSched() const { return *sched_; }
+    const MemSchedStats &memSchedStats() const { return sched_->stats(); }
+
+    /** Per-bank MEM-side data-bus busy cycles (64 B beats served). */
+    const std::vector<Cycle> &
+    memBankBusyCycles() const
+    {
+        return memBankBusyCycles_;
+    }
+
   private:
     /** In-flight state machine for one MemJob. */
     struct MemExec
@@ -140,6 +169,8 @@ class MemoryController
          * cycle ties oldest-first, so completion may swap-and-pop the
          * vector without perturbing the schedule. */
         std::uint64_t seq = 0;
+        /** Row-buffer outcome recorded (first stepMem only). */
+        bool classified = false;
     };
 
     /** In-flight state machine for one PimJob. */
@@ -217,6 +248,9 @@ class MemoryController
 
     bool kickScheduled_ = false;
     Cycle nextKickAt_ = kCycleMax;
+
+    std::unique_ptr<MemSchedPolicy> sched_;
+    std::vector<Cycle> memBankBusyCycles_;
 
     Scalar pimBankBusyCycles_;
     Distribution memQueueDelay_;

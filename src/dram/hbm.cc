@@ -71,6 +71,40 @@ HbmStack::totalPimBankBusyCycles() const
     return static_cast<Cycle>(total);
 }
 
+MemSchedStats
+HbmStack::totalMemSchedStats() const
+{
+    MemSchedStats total;
+    for (ChannelId ch = 0; ch < numChannels(); ++ch) {
+        const auto &s = controller(ch).memSchedStats();
+        total.rowHits += s.rowHits;
+        total.rowMisses += s.rowMisses;
+        total.rowConflicts += s.rowConflicts;
+        total.memCommands += s.memCommands;
+        total.pimCommands += s.pimCommands;
+        total.modeSwitches += s.modeSwitches;
+        total.pimStallCycles += s.pimStallCycles;
+        total.pimWasteCycles += s.pimWasteCycles;
+    }
+    return total;
+}
+
+double
+HbmStack::memBankUtilization(Cycle window_start, Cycle window_end) const
+{
+    if (window_end <= window_start)
+        return 0.0;
+    double busy = 0.0;
+    double banks = 0.0;
+    for (ChannelId ch = 0; ch < numChannels(); ++ch) {
+        for (Cycle c : controller(ch).memBankBusyCycles())
+            busy += static_cast<double>(c);
+        banks += static_cast<double>(cfg_.org.banksPerChannel);
+    }
+    return busy /
+           (banks * static_cast<double>(window_end - window_start));
+}
+
 double
 HbmStack::dataBusUtilization(Cycle window_start, Cycle window_end)
 {

@@ -111,6 +111,16 @@ class HbmStack
     /** Sum over channels and banks of PIM compute cycles. */
     Cycle totalPimBankBusyCycles() const;
 
+    /** Sum of per-channel scheduling statistics (row hit/miss/conflict
+     * classification, per-class command counts, mode switches, PIM
+     * stall/waste integrals); folded channels contribute their
+     * representative's bit-identical values. */
+    MemSchedStats totalMemSchedStats() const;
+
+    /** Mean MEM-side per-bank data-service fraction over a window:
+     * 64 B beats served per bank against the window span. */
+    double memBankUtilization(Cycle window_start, Cycle window_end) const;
+
     /** Mean data-bus utilization across channels over a window. */
     double dataBusUtilization(Cycle window_start, Cycle window_end);
 

@@ -506,6 +506,7 @@ ServingEngine::run()
                 static_cast<double>(cls.tptSamples);
         report.classes.push_back(std::move(cls.rep));
     }
+    report.memSched = latency_.memSchedSummary();
     return report;
 }
 

@@ -36,6 +36,31 @@
 namespace neupims::runtime {
 
 /**
+ * DRAM command-arbitration summary surfaced by an iteration-latency
+ * model whose backing engine ran the cycle-accurate memory system
+ * (dram/mem_sched.h): the measured model accumulates it over its
+ * cache-miss executor runs, the analytic model carries its
+ * calibration anchor's run. `valid` stays false for models that never
+ * executed the engine, and drivers print nothing then — the runtime
+ * layer holds only plain counters, no dram dependency.
+ */
+struct MemSchedSummary
+{
+    bool valid = false;
+    std::string policy; ///< "frfcfs" | "pim-frfcfs" | "paws"
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t memCommands = 0;
+    std::uint64_t pimCommands = 0;
+    std::uint64_t modeSwitches = 0;
+    Cycle pimStallCycles = 0; ///< ready PIM deferred behind later MEM
+    Cycle pimWasteCycles = 0; ///< bus waited for later PIM over MEM
+    double rowHitRate = 0.0;
+    double memBankUtil = 0.0; ///< mean per-bank MEM data service
+};
+
+/**
  * Maps one iteration's schedule to its simulated latency in cycles.
  * Implementations live in src/core (they need the device model); the
  * runtime layer only sees this interface.
@@ -49,6 +74,10 @@ class IterationLatencyModel
 
     /** Simulated cycles one iteration of @p schedule takes. */
     virtual Cycle iterationCycles(const IterationSchedule &schedule) = 0;
+
+    /** DRAM arbitration stats of the model's backing engine runs
+     * (invalid default for models without one). */
+    virtual MemSchedSummary memSchedSummary() const { return {}; }
 };
 
 /**
@@ -242,6 +271,10 @@ struct ServingReport
     /** Per-priority-class breakdown, ascending class id. Always has
      * at least one entry for a run that submitted requests. */
     std::vector<ClassServingReport> classes;
+
+    /** DRAM arbitration stats from the latency model's backing engine
+     * (memSched.valid false when the model never ran it). */
+    MemSchedSummary memSched;
 
     /** Generation throughput over the makespan. */
     double tokensPerSecond() const;

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Calibration-anchor consistency tests: the memoized anchor registry
+ * keys on a masked device signature that excludes perf-only flags, so
+ * calibrating with the channelSymmetry fast path on or off reuses the
+ * SAME anchor and produces identical serial pricing — and the anchor
+ * carries the engine run's mem-sched statistics into the analytic
+ * model's summary (the measured model accumulates its own).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/batch_builder.h"
+#include "core/iteration_model.h"
+#include "core/serving_setup.h"
+#include "dram/mem_sched.h"
+
+namespace neupims::core {
+namespace {
+
+/** Symmetry folding is a perf-only fast path: calibrated pricing must
+ * be identical with it on or off, and the second calibration must be
+ * a memo hit on the first one's anchor (the masked key ignores the
+ * flag). */
+TEST(CalibrationAnchors, SymmetryFastPathSharesAnchorAndPricing)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = servingBackendByName("NeuPIMs+SBI");
+    const int layers = llm.layersPerDevice(llm.defaultPp);
+
+    auto dev_sym = backend.device;
+    dev_sym.flags.channelSymmetry = true;
+    auto dev_full = backend.device;
+    dev_full.flags.channelSymmetry = false;
+
+    AnalyticIterationModel sym(dev_sym, llm, llm.defaultTp, layers);
+    AnalyticIterationModel full(dev_full, llm, llm.defaultTp, layers);
+
+    std::size_t before = calibrationAnchorCount();
+    double scale_sym = sym.calibrate(96, 640);
+    std::size_t after_first = calibrationAnchorCount();
+    double scale_full = full.calibrate(96, 640);
+    std::size_t after_second = calibrationAnchorCount();
+
+    // First calibration measures at most one new anchor; the second
+    // must be a pure memo hit despite the flipped symmetry flag.
+    EXPECT_LE(after_first - before, 1u);
+    EXPECT_EQ(after_second, after_first);
+    EXPECT_DOUBLE_EQ(scale_sym, scale_full);
+    EXPECT_DOUBLE_EQ(sym.scale(), full.scale());
+
+    // Identical calibrated pricing on compositions off the anchor.
+    for (int batch : {48, 96, 192}) {
+        auto comp =
+            uniformComposition(batch, 512, backend.device.org.channels);
+        EXPECT_EQ(sym.perLayerCyclesFor(comp),
+                  full.perLayerCyclesFor(comp))
+            << "batch " << batch;
+    }
+}
+
+/** Anchors are policy-distinct: the same grid point under another
+ * arbitration policy is a different engine and must not reuse the
+ * FR-FCFS anchor's cycles. */
+TEST(CalibrationAnchors, PolicyIsPartOfTheAnchorKey)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = servingBackendByName("NeuPIMs+SBI");
+    const int layers = llm.layersPerDevice(llm.defaultPp);
+
+    auto dev_paws = backend.device;
+    dev_paws.memSched.kind = dram::MemSchedKind::Paws;
+    AnalyticIterationModel frfcfs(backend.device, llm, llm.defaultTp,
+                                  layers);
+    AnalyticIterationModel paws(dev_paws, llm, llm.defaultTp, layers);
+    // The bench anchor: large enough that PAWS has MEM backlog at its
+    // stint boundaries and actually alternates modes.
+    frfcfs.calibrate(256, 512);
+    paws.calibrate(256, 512);
+    ASSERT_TRUE(frfcfs.memSchedSummary().valid);
+    ASSERT_TRUE(paws.memSchedSummary().valid);
+    EXPECT_STREQ(frfcfs.memSchedSummary().policy.c_str(), "frfcfs");
+    EXPECT_STREQ(paws.memSchedSummary().policy.c_str(), "paws");
+    // FR-FCFS never defers a class; Paws switches modes.
+    EXPECT_EQ(frfcfs.memSchedSummary().pimStallCycles, 0u);
+    EXPECT_EQ(frfcfs.memSchedSummary().pimWasteCycles, 0u);
+    EXPECT_GT(paws.memSchedSummary().modeSwitches, 0u);
+}
+
+/** Before calibrate() the analytic model has no engine run to report;
+ * afterwards the anchor's scheduling stats are visible. */
+TEST(CalibrationAnchors, SummaryInvalidUntilCalibrated)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = servingBackendByName("NeuPIMs+SBI");
+    AnalyticIterationModel m(backend.device, llm, llm.defaultTp,
+                             llm.layersPerDevice(llm.defaultPp));
+    EXPECT_FALSE(m.memSchedSummary().valid);
+    m.calibrate(96, 640);
+    ASSERT_TRUE(m.memSchedSummary().valid);
+    EXPECT_GT(m.memSchedSummary().memCommands, 0u);
+    EXPECT_GT(m.memSchedSummary().pimCommands, 0u);
+}
+
+/** The calibrated SBI hide-fraction surface: within [0, 1], edge
+ * clamped outside the measured grid, monotone along the batch axis at
+ * the policy plateaus, and policy-distinct (PAWS hides more than
+ * FR-FCFS at large sub-batches — mode exclusivity batches command
+ * runs). */
+TEST(CalibrationAnchors, HideFractionSurfaceSanity)
+{
+    auto dev = DeviceConfig::neuPims();
+    auto paws = dev;
+    paws.memSched.kind = dram::MemSchedKind::Paws;
+
+    for (double per_ch : {1.0, 4.0, 6.0, 8.0, 12.0, 40.0}) {
+        for (double kv : {64.0, 512.0, 1024.0, 1536.0, 4096.0}) {
+            double f = calibratedSbiHideFraction(dev, per_ch, kv);
+            EXPECT_GE(f, 0.0);
+            EXPECT_LE(f, 1.0);
+        }
+    }
+    // Edge clamping: outside the grid equals the nearest edge.
+    EXPECT_DOUBLE_EQ(calibratedSbiHideFraction(dev, 1.0, 512.0),
+                     calibratedSbiHideFraction(dev, 4.0, 512.0));
+    EXPECT_DOUBLE_EQ(calibratedSbiHideFraction(dev, 12.0, 4096.0),
+                     calibratedSbiHideFraction(dev, 12.0, 1536.0));
+    // The batch collapse: 4 requests/channel/sub-batch hides almost
+    // nothing; the plateau at 12 hides much more.
+    EXPECT_LT(calibratedSbiHideFraction(dev, 4.0, 1024.0), 0.1);
+    EXPECT_GT(calibratedSbiHideFraction(dev, 12.0, 1024.0), 0.25);
+    // Policy-distinct surfaces.
+    EXPECT_GT(calibratedSbiHideFraction(paws, 12.0, 1024.0),
+              calibratedSbiHideFraction(dev, 12.0, 1024.0) + 0.2);
+    // A symmetry flip must not move the lookup (perf-only flag).
+    auto dev_sym = dev;
+    dev_sym.flags.channelSymmetry = !dev.flags.channelSymmetry;
+    EXPECT_DOUBLE_EQ(calibratedSbiHideFraction(dev, 8.0, 1024.0),
+                     calibratedSbiHideFraction(dev_sym, 8.0, 1024.0));
+}
+
+/** The measured model reports accumulated engine stats once it has
+ * executed at least one cache-miss iteration. */
+TEST(CalibrationAnchors, MeasuredModelAccumulatesSummary)
+{
+    auto llm = model::gpt3_13b();
+    const auto &backend = servingBackendByName("NeuPIMs+SBI");
+    MeasuredIterationModel m(backend.device, llm, llm.defaultTp,
+                             llm.layersPerDevice(llm.defaultPp), 64);
+    EXPECT_FALSE(m.memSchedSummary().valid);
+    auto comp = uniformComposition(64, 512, backend.device.org.channels);
+    (void)m.iterationCyclesFor(comp);
+    ASSERT_TRUE(m.memSchedSummary().valid);
+    EXPECT_GT(m.memSchedSummary().memCommands, 0u);
+}
+
+} // namespace
+} // namespace neupims::core
