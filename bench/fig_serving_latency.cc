@@ -55,19 +55,33 @@
  * switches) under "mem_sched_sweep" — the calibration evidence behind
  * calibratedSbiHideFraction (DESIGN.md §11).
  *
+ * A seventh sweep compares the hybrid-fidelity iteration model
+ * (sample every Nth boundary through the cycle-accurate engine plus
+ * forced samples on composition changes, fast-forward the rest on
+ * anchored analytic ratios) against the N = 1 full-event baseline on
+ * the strongest backend, emitting per-N latency errors and the
+ * engine-invocation cut under "hybrid_sweep", and persisting the
+ * learned anchors to BENCH_serving.anchors.tsv (DESIGN.md §12).
+ * Wall-clock seconds print to stdout only — the JSON stays
+ * deterministic for CI's full-content staleness compare.
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/batch_builder.h"
 #include "core/executor.h"
 #include "core/iteration_model.h"
+#include "core/parallel.h"
 #include "core/serving_setup.h"
 #include "dram/mem_sched.h"
 #include "runtime/serving_engine.h"
@@ -148,6 +162,22 @@ main()
                  "  \"seed\": %llu,\n",
                  llm.name.c_str(), requests,
                  static_cast<unsigned long long>(seed));
+    // Execution context: CI's staleness check requires build_type
+    // "release"; num_cpus <= 1 hosts are labeled serial-baseline
+    // because thread-count comparisons there measure scheduler
+    // contention, not the worker pool.
+    std::fprintf(json,
+                 "  \"context\": {\"build_type\": \"%s\", "
+                 "\"threads\": %d, \"threads_label\": \"%s\"},\n",
+#ifdef NDEBUG
+                 "release",
+#else
+                 "debug",
+#endif
+                 core::resolveSimThreads(0),
+                 std::thread::hardware_concurrency() <= 1
+                     ? "serial-baseline"
+                     : "parallel-capable");
     emitJsonArray(json, "ttft_budgets_ms", kTtftBudgetsMs, "  ");
     std::fprintf(json, ",\n");
     emitJsonArray(json, "per_token_budgets_ms", kPerTokenBudgetsMs,
@@ -738,6 +768,158 @@ main()
         }
         std::fprintf(json, "      ]\n    }");
         first = false;
+    }
+
+    std::fprintf(json, "\n  ],\n  \"hybrid_sweep\": [\n");
+
+    // --- Hybrid-fidelity sweep: sampled engine vs full-event -------
+    // N = 1 replays every iteration through the cycle-accurate engine
+    // (bit-identical to the measured model); larger N samples every
+    // Nth boundary plus forced samples on composition changes and
+    // fast-forwards the rest on anchored measured/analytic ratios.
+    // Two speedup ratios, both deterministic (raw seconds print to
+    // stdout only): full_event_cut = iterations / engine invocations
+    // — the wall-clock cut vs pricing *every* iteration through the
+    // engine, since an invocation costs the same either way — and
+    // engine_run_cut, the invocation cut vs the shipping memoized
+    // measured model (whose composition cache already skips repeat
+    // compositions, so its baseline is lower). Two configurations:
+    // the standard device at 1.4x, and the over-capacity policy-grid
+    // config (KV/6, maxlen 320, recompute, fcfs) where preemptions
+    // drive the forced-sample path.
+    struct HybridConfig
+    {
+        const char *name;
+        bool policy_grid;
+        double rate;
+    };
+    const std::vector<HybridConfig> hybrid_cfgs = {
+        {"standard-1.4x", false, nominalRate(ds) * 1.4},
+        {"policy-grid-1.5x", true, preempt_base_rate * 1.5},
+    };
+    const std::vector<int> sample_every = {1, 8, 16};
+    first = true;
+    for (const auto &hc : hybrid_cfgs) {
+        std::printf("\n=== Hybrid-fidelity sweep (NeuPIMs+SBI, "
+                    "poisson, ShareGPT, %s) ===\n\n",
+                    hc.name);
+        std::printf(
+            "%-5s | %8s %8s %8s | %7s %6s %7s | %8s %6s %6s | %7s\n",
+            "every", "ttft-p95", "tbt-p95", "e2e-p99", "sampled",
+            "forced", "fastfwd", "eng-runs", "evcut", "memcut",
+            "wall-s");
+
+        double base_ttft95 = 0, base_tbt95 = 0, base_e2e99 = 0;
+        std::uint64_t base_runs = 0;
+        for (int every : sample_every) {
+            auto traffic = runtime::makeTraffic(
+                "poisson", hc.policy_grid ? pds : ds, hc.rate,
+                requests, seed);
+            auto cfg = core::servingConfigFor(backend.device, llm);
+            if (hc.policy_grid) {
+                core::ServingOptions sopt;
+                sopt.preempt = "recompute";
+                sopt.policy = "fcfs";
+                sopt.kvScale = 6;
+                core::applyServingOptions(cfg, sopt);
+            }
+            auto hybrid = core::makeHybridIterationModel(
+                backend.device, llm, every);
+            runtime::ServingEngine engine(cfg, *traffic, *hybrid);
+            auto t0 = std::chrono::steady_clock::now();
+            auto report = engine.run();
+            double wall_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+            if (every == 1) {
+                base_ttft95 = report.ttftUs.p95();
+                base_tbt95 = report.tbtUs.p95();
+                base_e2e99 = report.e2eUs.p99();
+                base_runs = hybrid->executorRuns();
+            }
+            auto err_pct = [](double v, double base) {
+                return base > 0 ? (v / base - 1.0) * 100.0 : 0.0;
+            };
+            double err_ttft = err_pct(report.ttftUs.p95(), base_ttft95);
+            double err_tbt = err_pct(report.tbtUs.p95(), base_tbt95);
+            double err_e2e = err_pct(report.e2eUs.p99(), base_e2e99);
+            std::uint64_t iters = hybrid->sampledIterations() +
+                                  hybrid->fastForwarded();
+            double ev_cut =
+                hybrid->executorRuns() > 0
+                    ? static_cast<double>(iters) /
+                          static_cast<double>(hybrid->executorRuns())
+                    : 0.0;
+            double mem_cut =
+                hybrid->executorRuns() > 0
+                    ? static_cast<double>(base_runs) /
+                          static_cast<double>(hybrid->executorRuns())
+                    : 0.0;
+
+            std::printf(
+                "%5d | %8.1f %8.2f %8.0f | %7llu %6llu %7llu | %8llu "
+                "%5.1fx %5.1fx | %7.2f\n",
+                every, report.ttftUs.p95() / 1e3,
+                report.tbtUs.p95() / 1e3, report.e2eUs.p99() / 1e3,
+                static_cast<unsigned long long>(
+                    hybrid->sampledIterations()),
+                static_cast<unsigned long long>(
+                    hybrid->forcedSamples()),
+                static_cast<unsigned long long>(
+                    hybrid->fastForwarded()),
+                static_cast<unsigned long long>(hybrid->executorRuns()),
+                ev_cut, mem_cut, wall_s);
+
+            std::fprintf(
+                json,
+                "%s    {\n      \"config\": \"%s\", "
+                "\"sample_every\": %d, \"completed\": %d, "
+                "\"tokens_per_s\": %.1f,\n"
+                "      \"sampled\": %llu, \"forced_samples\": %llu, "
+                "\"fast_forwarded\": %llu, \"ff_cache_hits\": %llu,\n"
+                "      \"engine_runs\": %llu, "
+                "\"full_event_cut\": %.3f, "
+                "\"engine_run_cut\": %.3f, \"anchors\": %d,\n"
+                "      \"ttft_p95_ms\": %.3f, "
+                "\"ttft_p95_err_pct\": %.3f,\n"
+                "      \"tbt_p95_ms\": %.3f, "
+                "\"tbt_p95_err_pct\": %.3f,\n"
+                "      \"e2e_p99_ms\": %.3f, "
+                "\"e2e_p99_err_pct\": %.3f\n"
+                "    }",
+                first ? "" : ",\n", hc.name, every,
+                report.requestsCompleted, report.tokensPerSecond(),
+                static_cast<unsigned long long>(
+                    hybrid->sampledIterations()),
+                static_cast<unsigned long long>(
+                    hybrid->forcedSamples()),
+                static_cast<unsigned long long>(
+                    hybrid->fastForwarded()),
+                static_cast<unsigned long long>(
+                    hybrid->fastForwardCacheHits()),
+                static_cast<unsigned long long>(hybrid->executorRuns()),
+                ev_cut, mem_cut,
+                static_cast<int>(hybrid->anchorCount()),
+                report.ttftUs.p95() * 1e-3, err_ttft,
+                report.tbtUs.p95() * 1e-3, err_tbt,
+                report.e2eUs.p99() * 1e-3, err_e2e);
+            first = false;
+
+            // Persist the standard config's mid-cadence anchors next
+            // to the JSON so a later serve_trace --hybrid-anchors run
+            // starts warm.
+            if (!hc.policy_grid && every == 8) {
+                if (hybrid->saveAnchors("BENCH_serving.anchors.tsv"))
+                    std::printf("      saved %d anchors to "
+                                "BENCH_serving.anchors.tsv\n",
+                                static_cast<int>(
+                                    hybrid->anchorCount()));
+                else
+                    std::printf("      FAILED writing "
+                                "BENCH_serving.anchors.tsv\n");
+            }
+        }
     }
 
     std::fprintf(json, "\n  ]\n}\n");

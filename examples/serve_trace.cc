@@ -28,6 +28,7 @@
  *                 [--fault SPEC] [--client-timeout-ms F]
  *                 [--retries N] [--retry-backoff-ms F]
  *                 [--shed-watermark F] [--shed-wait-ms F]
+ *                 [--threads N] [--hybrid N] [--hybrid-anchors FILE]
  *
  * --trace replays an external CSV (arrival_us,input,output rows) in
  * place of the synthetic fixed-rate replay trace. --measured swaps
@@ -78,6 +79,19 @@
  * watermarks). Runs with any robustness event print an availability
  * summary line (timeouts, sheds, retries, wasted tokens, recovery
  * time, goodput) under the config row.
+ *
+ * --threads N runs every cycle-accurate engine window on N simulator
+ * worker lanes (same-cycle controller events of different channels
+ * step in parallel; bit-identical to serial, DESIGN.md §12 — all
+ * checksums above are unchanged). --hybrid N swaps in the
+ * hybrid-fidelity model: the engine executes every Nth iteration plus
+ * forced samples on composition changes, everything between is
+ * analytically fast-forwarded at the last measured/analytic ratio; a
+ * sampling summary line prints under each config row.
+ * --hybrid-anchors FILE preloads the persisted measured/analytic
+ * anchor sidecar (written by bench/fig_serving_latency next to
+ * BENCH_serving.json, and re-saved here after the run) so the
+ * fast-forward starts calibrated instead of at ratio 1.0.
  */
 
 #include <cstdio>
@@ -128,6 +142,13 @@ struct Options
     bool measured = false;
     bool calibrate = false;
     bool dumpTrace = false;
+    /** Simulator worker lanes (DeviceConfig::simThreads); 0 defers to
+     * NEUPIMS_SIM_THREADS and then to serial. Bit-identical. */
+    int threads = 0;
+    /** Hybrid fidelity: engine-sample every Nth iteration (0 = off). */
+    int hybrid = 0;
+    /** Anchor sidecar preloaded into and saved from the hybrid model. */
+    std::string hybridAnchors;
 };
 
 /**
@@ -185,7 +206,9 @@ usage(const char *argv0)
         "          [--fault kind:startMs[:chan[:durMs[:factor]]],...]\n"
         "          [--client-timeout-ms F] [--retries N] "
         "[--retry-backoff-ms F]\n"
-        "          [--shed-watermark F] [--shed-wait-ms F]\n",
+        "          [--shed-watermark F] [--shed-wait-ms F]\n"
+        "          [--threads N] [--hybrid N] "
+        "[--hybrid-anchors FILE]\n",
         argv0);
 }
 
@@ -260,6 +283,12 @@ main(int argc, char **argv)
             opt.shedWaitMs = std::atof(value());
         else if (arg == "--max-len")
             opt.maxLen = std::atoi(value());
+        else if (arg == "--threads")
+            opt.threads = std::atoi(value());
+        else if (arg == "--hybrid")
+            opt.hybrid = std::atoi(value());
+        else if (arg == "--hybrid-anchors")
+            opt.hybridAnchors = value();
         else if (arg == "--measured")
             opt.measured = true;
         else if (arg == "--calibrate")
@@ -287,8 +316,10 @@ main(int argc, char **argv)
         backends = core::standardServingBackends();
     else
         backends.push_back(core::servingBackendByName(opt.backend));
-    for (auto &b : backends)
+    for (auto &b : backends) {
         core::applyMemSched(b.device, opt.memSched);
+        b.device.simThreads = opt.threads;
+    }
 
     std::vector<std::string> traffics;
     if (opt.traffic == "all")
@@ -318,7 +349,9 @@ main(int argc, char **argv)
                 "%s mem-sched\n\n",
                 llm.name.c_str(), opt.requests,
                 static_cast<unsigned long long>(opt.seed),
-                opt.measured ? "measured" : "analytic",
+                opt.hybrid > 0 ? "hybrid"
+                : opt.measured ? "measured"
+                               : "analytic",
                 opt.prefill.c_str(), opt.chunkTokens,
                 opt.piggyback ? ", piggyback" : "",
                 opt.preempt.c_str(), opt.victim.c_str(), opt.swapGbps,
@@ -334,9 +367,24 @@ main(int argc, char **argv)
                 "checksum");
 
     for (const auto &backend : backends) {
-        auto latency = core::makeIterationModel(backend.device, llm,
-                                                opt.measured);
-        if (opt.calibrate && !opt.measured) {
+        std::unique_ptr<runtime::IterationLatencyModel> latency;
+        core::HybridIterationModel *hybrid = nullptr;
+        if (opt.hybrid > 0) {
+            auto h = core::makeHybridIterationModel(
+                backend.device, llm, opt.hybrid, 64, opt.hybridAnchors);
+            if (!opt.hybridAnchors.empty() && h->anchorCount() > 0)
+                std::printf("# hybrid %s: preloaded %d anchors "
+                            "from %s\n",
+                            backend.name.c_str(),
+                            static_cast<int>(h->anchorCount()),
+                            opt.hybridAnchors.c_str());
+            hybrid = h.get();
+            latency = std::move(h);
+        } else {
+            latency = core::makeIterationModel(backend.device, llm,
+                                               opt.measured);
+        }
+        if (opt.calibrate && !opt.measured && opt.hybrid == 0) {
             double s =
                 static_cast<core::AnalyticIterationModel *>(
                     latency.get())
@@ -442,6 +490,26 @@ main(int argc, char **argv)
                         report.goodputTokensPerSecond());
                 }
 
+                // Hybrid-fidelity sampling summary: how much of the
+                // run the event engine actually executed.
+                if (hybrid != nullptr) {
+                    std::printf(
+                        "    hybrid N=%d: sampled=%llu (forced %llu) "
+                        "fast-forwarded=%llu engine-runs=%llu "
+                        "anchors=%d ratio=%.4f\n",
+                        hybrid->sampleEvery(),
+                        static_cast<unsigned long long>(
+                            hybrid->sampledIterations()),
+                        static_cast<unsigned long long>(
+                            hybrid->forcedSamples()),
+                        static_cast<unsigned long long>(
+                            hybrid->fastForwarded()),
+                        static_cast<unsigned long long>(
+                            hybrid->executorRuns()),
+                        static_cast<int>(hybrid->anchorCount()),
+                        hybrid->ratio());
+                }
+
                 // DRAM arbitration summary whenever the latency
                 // model ran the cycle-accurate memory system
                 // (--measured accumulates it over cache-miss runs,
@@ -528,6 +596,18 @@ main(int argc, char **argv)
                     }
                 }
             }
+        }
+        if (hybrid != nullptr && !opt.hybridAnchors.empty()) {
+            if (hybrid->saveAnchors(opt.hybridAnchors))
+                std::printf("# hybrid %s: saved %d anchors to %s\n",
+                            backend.name.c_str(),
+                            static_cast<int>(hybrid->anchorCount()),
+                            opt.hybridAnchors.c_str());
+            else
+                std::printf("# hybrid %s: FAILED to save anchors "
+                            "to %s\n",
+                            backend.name.c_str(),
+                            opt.hybridAnchors.c_str());
         }
     }
     return 0;

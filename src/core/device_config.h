@@ -106,6 +106,19 @@ struct DeviceConfig
      */
     dram::MemSchedConfig memSched;
 
+    /**
+     * Simulator execution lanes (not a hardware feature, like
+     * channelSymmetry): >1 installs a worker pool on the event queue
+     * so same-cycle controller events of different channels step in
+     * parallel. Bit-identical to serial by construction (DESIGN.md
+     * §12; the differential test locks it). 0 defers to the
+     * NEUPIMS_SIM_THREADS environment variable and then to 1 —
+     * that hook is how the sanitizer CI drives the whole test suite
+     * through the threaded path. Deliberately excluded from
+     * calibration anchor keys: it cannot change results.
+     */
+    int simThreads = 0;
+
     /** Build the per-channel controller configuration. */
     dram::ControllerConfig
     controllerConfig() const

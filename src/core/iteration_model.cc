@@ -864,4 +864,228 @@ MeasuredIterationModel::memSchedSummary() const
         bankUtilSum_ / static_cast<double>(misses_));
 }
 
+bool
+MeasuredIterationModel::priceIfCached(
+    const runtime::IterationSchedule &schedule, Cycle &out)
+{
+    MixedComposition mix = mixedCompositionOf(schedule);
+    Cycle swap = analytic_.swapOverheadCycles(mix);
+    if (!mix.hasDecode() && !mix.hasPrefill()) {
+        out = priceStragglers(std::max<Cycle>(1, swap), schedule);
+        return true;
+    }
+    MixedComposition work = mix;
+    work.swapBytes = 0;
+    if (!work.hasDecode()) {
+        // Prefill-only pricing never runs the engine: rescaled
+        // analytic, same as iterationCyclesFor(mix).
+        double scaled =
+            static_cast<double>(analytic_.iterationCyclesFor(work)) *
+            measuredOverAnalytic_;
+        out = priceStragglers(
+            static_cast<Cycle>(std::max(1.0, scaled)) + swap,
+            schedule);
+        return true;
+    }
+    auto it = cache_.find(compositionKey(quantized(work.decode)));
+    if (it == cache_.end())
+        return false;
+    ++hits_;
+    Cycle priced;
+    if (!work.hasPrefill()) {
+        priced = it->second + swap;
+    } else {
+        Cycle analytic_mixed = analytic_.iterationCyclesFor(work);
+        Cycle analytic_decode =
+            analytic_.iterationCyclesFor(work.decode);
+        NEUPIMS_ASSERT(analytic_decode > 0);
+        double scaled = static_cast<double>(it->second) *
+                        (static_cast<double>(analytic_mixed) /
+                         static_cast<double>(analytic_decode));
+        priced = static_cast<Cycle>(std::max(1.0, scaled)) + swap;
+    }
+    out = priceStragglers(priced, schedule);
+    return true;
+}
+
+// --- HybridIterationModel --------------------------------------------------
+
+namespace {
+
+/**
+ * Batch-size bucket width of the forced-sample signature and the
+ * anchor table. Admission grows serving batches one request at a
+ * time; re-sampling on every single-request step would run the engine
+ * on nearly every ramp-up iteration, so a "batch-size step" means
+ * crossing a bucket boundary. 8 requests moves the analytic per-layer
+ * cost by well under the 2% error budget between anchors.
+ */
+constexpr int kBatchBucket = 8;
+
+int
+meanKvLen(const BatchComposition &comp)
+{
+    long long sum = 0;
+    int n = 0;
+    for (const auto &ch : comp.full) {
+        for (int len : ch) {
+            sum += len;
+            ++n;
+        }
+    }
+    return n > 0 ? static_cast<int>(sum / n) : 0;
+}
+
+} // namespace
+
+HybridIterationModel::HybridIterationModel(
+    const DeviceConfig &cfg, const model::LlmConfig &model, int tp,
+    int layers_per_device, int sample_every, int quantize_seq,
+    const std::string &anchor_path)
+    : name_("hybrid(" + cfg.name + ",N=" +
+            std::to_string(sample_every) + ")"),
+      measured_(cfg, model, tp, layers_per_device, quantize_seq),
+      analytic_(cfg, model, tp, layers_per_device),
+      sampleEvery_(sample_every), quantizeSeq_(quantize_seq)
+{
+    NEUPIMS_ASSERT(sampleEvery_ >= 1);
+    NEUPIMS_ASSERT(quantizeSeq_ >= 1);
+    if (!anchor_path.empty())
+        loadAnchors(anchor_path); // missing file: cold start
+}
+
+HybridIterationModel::Signature
+HybridIterationModel::signatureOf(
+    const runtime::IterationSchedule &schedule) const
+{
+    Signature sig;
+    sig.batchBucket = schedule.batchSize() / kBatchBucket;
+    sig.prefillTokens = schedule.prefillTokens();
+    sig.preempted = !schedule.preemptedNow.empty();
+    sig.restored = !schedule.restoredNow.empty();
+    sig.swap = schedule.swapOutBytes > 0 || schedule.swapInBytes > 0;
+    sig.faulted = !schedule.faultPreemptedNow.empty();
+    sig.shed = !schedule.shedNow.empty();
+    sig.straggler = schedule.stragglerInflation() > 1.0;
+    return sig;
+}
+
+std::string
+HybridIterationModel::anchorKeyOf(
+    const runtime::IterationSchedule &schedule)
+{
+    MixedComposition mix = mixedCompositionOf(schedule);
+    int kv = meanKvLen(mix.decode);
+    kv = ((kv + quantizeSeq_ - 1) / quantizeSeq_) * quantizeSeq_;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "b%d/kv%d/p%d",
+                  schedule.batchSize() / kBatchBucket, kv,
+                  schedule.prefillTokens() > 0 ? 1 : 0);
+    return buf;
+}
+
+Cycle
+HybridIterationModel::iterationCycles(
+    const runtime::IterationSchedule &schedule)
+{
+    Signature sig = signatureOf(schedule);
+    bool boundary = (iter_ % static_cast<std::uint64_t>(sampleEvery_)) == 0;
+    bool forced = haveSig_ && sig != lastSig_;
+    ++iter_;
+    lastSig_ = sig;
+    haveSig_ = true;
+
+    if (!boundary && !forced) {
+        ++fastForwarded_;
+        // A measured-cache hit is engine-accurate pricing for free:
+        // prefer it over the anchored-ratio estimate. (Compositions
+        // revisit constantly once KV quantization folds them.)
+        Cycle cached = 0;
+        if (measured_.priceIfCached(schedule, cached)) {
+            ++ffCacheHits_;
+            return cached;
+        }
+        Cycle analytic = analytic_.iterationCycles(schedule);
+        double r = ratio_;
+        auto it = anchors_.find(anchorKeyOf(schedule));
+        if (it != anchors_.end())
+            r = it->second.ratio;
+        return static_cast<Cycle>(
+            std::max(1.0, static_cast<double>(analytic) * r));
+    }
+
+    ++sampled_;
+    if (forced && !boundary)
+        ++forced_;
+    Cycle measured = measured_.iterationCycles(schedule);
+    // Re-anchor the measured/analytic ratio — but only on iterations
+    // with compute: a swap-only boundary prices identically in both
+    // models (host-link transfer time), and letting its ratio of ~1.0
+    // overwrite the decode anchor would corrupt every following
+    // fast-forward.
+    MixedComposition mix = mixedCompositionOf(schedule);
+    if (mix.hasDecode() || mix.hasPrefill()) {
+        Cycle analytic = analytic_.iterationCycles(schedule);
+        if (analytic > 0 && measured > 0) {
+            ratio_ = static_cast<double>(measured) /
+                     static_cast<double>(analytic);
+            Anchor &a = anchors_[anchorKeyOf(schedule)];
+            a.ratio = ratio_;
+            ++a.samples;
+        }
+    }
+    return measured;
+}
+
+runtime::MemSchedSummary
+HybridIterationModel::memSchedSummary() const
+{
+    return measured_.memSchedSummary();
+}
+
+bool
+HybridIterationModel::saveAnchors(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "# neupims hybrid anchors v1\n");
+    std::fprintf(f, "# key\tratio\tsamples\n");
+    for (const auto &kv : anchors_) {
+        std::fprintf(f, "%s\t%.17g\t%llu\n", kv.first.c_str(),
+                     kv.second.ratio,
+                     static_cast<unsigned long long>(kv.second.samples));
+    }
+    bool ok = std::fclose(f) == 0;
+    return ok;
+}
+
+int
+HybridIterationModel::loadAnchors(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return -1;
+    char line[256];
+    int loaded = 0;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        char key[128];
+        double ratio = 0.0;
+        unsigned long long samples = 0;
+        if (std::sscanf(line, "%127[^\t]\t%lg\t%llu", key, &ratio,
+                        &samples) != 3)
+            continue;
+        if (!(ratio > 0.0))
+            continue;
+        Anchor &a = anchors_[key];
+        a.ratio = ratio;
+        a.samples += samples;
+        ++loaded;
+    }
+    std::fclose(f);
+    return loaded;
+}
+
 } // namespace neupims::core

@@ -32,6 +32,7 @@
 #ifndef NEUPIMS_CORE_ITERATION_MODEL_H_
 #define NEUPIMS_CORE_ITERATION_MODEL_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -245,6 +246,18 @@ class MeasuredIterationModel : public runtime::IterationLatencyModel
     std::uint64_t cacheHits() const { return hits_; }
     std::uint64_t cacheMisses() const { return misses_; }
 
+    /**
+     * Price @p schedule exactly as iterationCycles() would — but only
+     * if doing so needs no engine run: the decode composition is
+     * already in the measurement cache (or there is no decode work to
+     * measure). Returns true and sets @p out on success; on false,
+     * nothing ran and nothing was cached. This is the hybrid model's
+     * fast-forward shortcut: a cache hit is engine-accurate pricing
+     * at lookup cost.
+     */
+    bool priceIfCached(const runtime::IterationSchedule &schedule,
+                       Cycle &out);
+
     /** DRAM arbitration stats accumulated over the cache-miss engine
      * runs (invalid until the first miss). */
     runtime::MemSchedSummary memSchedSummary() const override;
@@ -264,6 +277,135 @@ class MeasuredIterationModel : public runtime::IterationLatencyModel
     /** Scheduling stats summed over miss runs (memSchedSummary). */
     dram::MemSchedStats memSchedAccum_;
     double bankUtilSum_ = 0.0;
+};
+
+/**
+ * Hybrid fidelity: runs the cycle-accurate event engine on sampled
+ * iteration windows only — every @p sample_every iteration boundary,
+ * plus forced samples whenever the batch composition steps (batch-size
+ * bucket change, preemption or restore, swap traffic, fault eviction,
+ * load shedding, a straggler window opening or closing) — and
+ * fast-forwards the iterations in between with the analytic model
+ * rescaled by the last measured/analytic ratio observed at a sample.
+ *
+ * This generalizes MeasuredIterationModel's memoization (repeated
+ * compositions replay a cached engine run) into windowed
+ * auto-calibration: between samples no engine run happens at all, not
+ * even a cache lookup of an engine run, so a thousand-iteration
+ * serving sweep pays for ~1/N engine windows while every composition
+ * change re-anchors the ratio before drift can accumulate. Sampled
+ * iterations return the measured value exactly — a run with
+ * sample_every == 1 is bit-identical to MeasuredIterationModel.
+ *
+ * Anchors (per composition-bucket measured/analytic ratios) persist
+ * to a TSV sidecar (saveAnchors / loadAnchors) written next to
+ * BENCH_serving.json by the serving bench, so a later run —
+ * serve_trace --hybrid with --hybrid-anchors — starts from the
+ * calibrated surface instead of ratio 1.0 before its first sample.
+ */
+class HybridIterationModel : public runtime::IterationLatencyModel
+{
+  public:
+    /**
+     * @param sample_every run the event engine every Nth iteration
+     *        boundary (>= 1; 1 degenerates to the measured model)
+     * @param quantize_seq measured-model sequence quantization
+     * @param anchor_path optional sidecar to preload anchors from
+     *        (silently ignored when the file does not exist)
+     */
+    HybridIterationModel(const DeviceConfig &cfg,
+                         const model::LlmConfig &model, int tp,
+                         int layers_per_device, int sample_every = 8,
+                         int quantize_seq = 64,
+                         const std::string &anchor_path = "");
+
+    const std::string &name() const override { return name_; }
+
+    Cycle
+    iterationCycles(const runtime::IterationSchedule &schedule) override;
+
+    /** DRAM arbitration stats of the sampled engine windows. */
+    runtime::MemSchedSummary memSchedSummary() const override;
+
+    // --- sampling telemetry (benches, tests) ------------------------
+    /** Iterations priced by the event engine (periodic + forced). */
+    std::uint64_t sampledIterations() const { return sampled_; }
+    /** Samples forced by a composition change off the Nth boundary. */
+    std::uint64_t forcedSamples() const { return forced_; }
+    /** Iterations fast-forwarded analytically. */
+    std::uint64_t fastForwarded() const { return fastForwarded_; }
+    /** Fast-forwards that hit the measured-model composition cache —
+     * engine-accurate pricing at lookup cost, no ratio involved. */
+    std::uint64_t fastForwardCacheHits() const { return ffCacheHits_; }
+    /** Engine windows actually executed (measured-cache misses) —
+     * the wall-clock proxy the bench's speedup assertion uses. */
+    std::uint64_t executorRuns() const { return measured_.cacheMisses(); }
+    /** Last measured/analytic ratio (1.0 until the first sample). */
+    double ratio() const { return ratio_; }
+    int sampleEvery() const { return sampleEvery_; }
+
+    // --- anchor persistence -----------------------------------------
+    std::size_t anchorCount() const { return anchors_.size(); }
+    /** Write the anchor table to @p path (TSV; deterministic order).
+     * @return false on I/O failure. */
+    bool saveAnchors(const std::string &path) const;
+    /** Merge anchors from @p path (later loads win on key clashes).
+     * @return anchors read, or -1 when the file cannot be opened. */
+    int loadAnchors(const std::string &path);
+
+    /** Composition bucket key of @p schedule (tests; the anchor table
+     * and the forced-sample signature share its batch bucketing). */
+    std::string anchorKeyOf(const runtime::IterationSchedule &schedule);
+
+  private:
+    /** Composition signature: a forced sample fires when any field
+     * changes between consecutive iterations. */
+    struct Signature
+    {
+        int batchBucket = -1; ///< batchSize() / kBatchBucket
+        int prefillTokens = 0;
+        bool preempted = false;
+        bool restored = false;
+        bool swap = false;
+        bool faulted = false;
+        bool shed = false;
+        bool straggler = false;
+
+        bool
+        operator==(const Signature &o) const
+        {
+            return batchBucket == o.batchBucket &&
+                   prefillTokens == o.prefillTokens &&
+                   preempted == o.preempted && restored == o.restored &&
+                   swap == o.swap && faulted == o.faulted &&
+                   shed == o.shed && straggler == o.straggler;
+        }
+        bool operator!=(const Signature &o) const { return !(*this == o); }
+    };
+
+    struct Anchor
+    {
+        double ratio = 1.0;
+        std::uint64_t samples = 0;
+    };
+
+    Signature signatureOf(const runtime::IterationSchedule &schedule) const;
+
+    std::string name_;
+    MeasuredIterationModel measured_;
+    AnalyticIterationModel analytic_;
+    int sampleEvery_;
+    int quantizeSeq_;
+    std::uint64_t iter_ = 0;
+    std::uint64_t sampled_ = 0;
+    std::uint64_t forced_ = 0;
+    std::uint64_t fastForwarded_ = 0;
+    std::uint64_t ffCacheHits_ = 0;
+    double ratio_ = 1.0;
+    Signature lastSig_;
+    bool haveSig_ = false;
+    /** std::map: saveAnchors emits keys in deterministic order. */
+    std::map<std::string, Anchor> anchors_;
 };
 
 /** Build @p schedule's composition (full batch + Algorithm-3 subs). */

@@ -1,0 +1,148 @@
+#include "core/parallel.h"
+
+#include <cstdlib>
+
+namespace neupims::core {
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Spin budget before a worker sleeps on the condition variable.
+ * Batches arrive every few microseconds in the hot loop, so the spin
+ * window almost always catches the next epoch; the condvar only pays
+ * off across the long serial stretches between iterations.
+ *
+ * Spinning assumes every lane owns a core. When the pool is
+ * oversubscribed (lanes > hardware cores — the single-core CI
+ * container driving the whole suite through NEUPIMS_SIM_THREADS), a
+ * spinning lane burns exactly the quantum the lane holding the work
+ * needs, turning microsecond batches into scheduler-tick stalls; then
+ * the only useful move is yielding the processor immediately.
+ */
+constexpr int kSpinIters = 1 << 14;
+
+bool
+poolOversubscribed(int lanes)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 && static_cast<unsigned>(lanes) > hw;
+}
+
+} // namespace
+
+int
+resolveSimThreads(int configured)
+{
+    if (configured > 0)
+        return configured;
+    if (const char *env = std::getenv("NEUPIMS_SIM_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 1;
+}
+
+WorkerPool::WorkerPool(int threads)
+    : lanes_(threads < 1 ? 1 : threads),
+      oversubscribed_(poolOversubscribed(threads < 1 ? 1 : threads))
+{
+    workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+    for (int i = 1; i < lanes_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_.store(true, std::memory_order_release);
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::run(const std::vector<std::vector<ShardedEvent *>> &groups)
+{
+    if (groups.size() <= 1 || workers_.empty()) {
+        for (const auto &group : groups)
+            for (ShardedEvent *ev : group)
+                ev->prepare();
+        return;
+    }
+    groups_ = &groups;
+    next_.store(0, std::memory_order_relaxed);
+    active_.store(static_cast<int>(workers_.size()),
+                  std::memory_order_relaxed);
+    {
+        // The lock pairs with the workers' condvar wait so a sleeping
+        // worker cannot miss the epoch bump between its predicate
+        // check and its sleep.
+        std::lock_guard<std::mutex> lock(mu_);
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    wake_.notify_all();
+    drainBatch();
+    // Completion wait: acquire pairs with the workers' release
+    // decrement, publishing their shard writes before commit replay.
+    while (active_.load(std::memory_order_acquire) != 0) {
+        if (oversubscribed_)
+            std::this_thread::yield();
+        else
+            cpuRelax();
+    }
+    groups_ = nullptr;
+}
+
+void
+WorkerPool::drainBatch()
+{
+    const auto &groups = *groups_;
+    const std::size_t n = groups.size();
+    for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = next_.fetch_add(1, std::memory_order_relaxed))
+        for (ShardedEvent *ev : groups[i])
+            ev->prepare();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        std::uint64_t e;
+        int spins = oversubscribed_ ? kSpinIters : 0;
+        while ((e = epoch_.load(std::memory_order_acquire)) == seen &&
+               !stop_.load(std::memory_order_acquire)) {
+            if (++spins < kSpinIters) {
+                cpuRelax();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return epoch_.load(std::memory_order_acquire) != seen ||
+                       stop_.load(std::memory_order_acquire);
+            });
+        }
+        if (e == seen) // woke on stop_, no new batch
+            return;
+        seen = e;
+        drainBatch();
+        active_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+} // namespace neupims::core

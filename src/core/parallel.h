@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Persistent worker pool backing the event queue's sharded-event
+ * batches (DESIGN.md §12).
+ *
+ * The pool is the ShardRunner the DeviceExecutor installs on its
+ * EventQueue when `DeviceConfig::simThreads > 1`: each batch is a set
+ * of per-shard groups (one group per memory controller) whose
+ * prepare() bodies are channel-disjoint and therefore safe to run
+ * concurrently. Batches are short (a handful of controller process()
+ * calls, microseconds), so handoff latency dominates: workers spin
+ * briefly for the next batch before sleeping on a condition variable,
+ * and the dispatching thread participates in the batch itself and
+ * spin-waits for completion. All speedup comes from lockstep
+ * channels landing their kick/resume events in the same cycle bucket;
+ * heterogeneous channels degrade gracefully to serial dispatch.
+ */
+
+#ifndef NEUPIMS_CORE_PARALLEL_H_
+#define NEUPIMS_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.h"
+
+namespace neupims::core {
+
+/**
+ * Resolve a configured thread count: a positive value wins; zero
+ * falls back to the NEUPIMS_SIM_THREADS environment variable (how the
+ * sanitizer CI forces every executor run through the pool) and then
+ * to 1 (serial).
+ */
+int resolveSimThreads(int configured);
+
+/**
+ * Fixed-size pool of persistent worker threads executing sharded
+ * event batches. `threads` counts execution lanes including the
+ * dispatching thread, so WorkerPool(4) spawns three workers. run()
+ * claims group indices from a shared atomic cursor (work stealing at
+ * group granularity), runs each group's prepare()s in order, and
+ * returns only when every prepare() in the batch has finished — the
+ * release/acquire handshake on the completion counter publishes all
+ * shard writes back to the dispatching thread before commit() replay.
+ */
+class WorkerPool : public ShardRunner
+{
+  public:
+    explicit WorkerPool(int threads);
+    ~WorkerPool() override;
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Execution lanes, including the dispatching thread. */
+    int threads() const { return lanes_; }
+
+    void
+    run(const std::vector<std::vector<ShardedEvent *>> &groups) override;
+
+  private:
+    void workerLoop();
+    void drainBatch();
+
+    int lanes_;
+    /** More lanes than hardware cores: skip spin-waits, yield. */
+    bool oversubscribed_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::atomic<std::uint64_t> epoch_{0}; ///< batch generation
+    std::atomic<bool> stop_{false};
+
+    const std::vector<std::vector<ShardedEvent *>> *groups_ = nullptr;
+    std::atomic<std::size_t> next_{0}; ///< group-claim cursor
+    std::atomic<int> active_{0};       ///< workers still in this batch
+};
+
+} // namespace neupims::core
+
+#endif // NEUPIMS_CORE_PARALLEL_H_

@@ -123,4 +123,17 @@ makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
         dev, llm, llm.defaultTp, layers);
 }
 
+std::unique_ptr<HybridIterationModel>
+makeHybridIterationModel(const DeviceConfig &dev,
+                         const model::LlmConfig &llm, int sample_every,
+                         int quantize_seq, const std::string &anchor_path)
+{
+    int layers = llm.layersPerDevice(llm.defaultPp);
+    DeviceConfig dev2 = dev;
+    dev2.flags.channelSymmetry = true;
+    return std::make_unique<HybridIterationModel>(
+        dev2, llm, llm.defaultTp, layers, sample_every, quantize_seq,
+        anchor_path);
+}
+
 } // namespace neupims::core

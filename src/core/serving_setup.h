@@ -60,6 +60,20 @@ makeIterationModel(const DeviceConfig &dev, const model::LlmConfig &llm,
                    bool measured = false, int quantize_seq = 64);
 
 /**
+ * Build the hybrid-fidelity model (HybridIterationModel): event-engine
+ * samples every @p sample_every iterations (plus forced samples on
+ * composition changes), analytic fast-forward between them. Applies
+ * the same channel-symmetry folding as the measured model so each
+ * sampled window stays tractable. @p anchor_path optionally preloads
+ * a persisted anchor sidecar (missing file = cold start).
+ */
+std::unique_ptr<HybridIterationModel>
+makeHybridIterationModel(const DeviceConfig &dev,
+                         const model::LlmConfig &llm, int sample_every,
+                         int quantize_seq = 64,
+                         const std::string &anchor_path = "");
+
+/**
  * Apply a --mem-sched policy name ("frfcfs" | "pim-frfcfs" | "paws",
  * dram/mem_sched.h) onto @p dev — the knob selects both the
  * controller's command arbitration and the analytic model's

@@ -11,13 +11,23 @@
  * operation.
  *
  * Timing is tracked as next-allowed timestamps per command class (the
- * same constraint algebra DRAMsim3 enforces); the bank never ticks.
+ * same constraint algebra DRAMsim3 enforces); banks never tick.
+ *
+ * State lives in BankArray as structure-of-arrays: one dense vector
+ * per timestamp class across all of a channel's banks, so the
+ * controller's whole-channel scans (refresh readiness, grouped PIM
+ * activation windows, candidate selection) walk contiguous memory
+ * instead of striding across per-bank objects. BankRef is a
+ * two-word handle giving call sites the old per-bank method API;
+ * Bank keeps the standalone single-bank unit (a one-element array)
+ * for unit tests and documentation.
  */
 
 #ifndef NEUPIMS_DRAM_BANK_H_
 #define NEUPIMS_DRAM_BANK_H_
 
 #include <algorithm>
+#include <vector>
 
 #include "common/types.h"
 #include "dram/timing.h"
@@ -27,162 +37,314 @@ namespace neupims::dram {
 /** Which of the two row buffers a command targets. */
 enum class BufferSide { Mem, Pim };
 
-class Bank
+/** SoA timing/row state for all banks of one channel. */
+class BankArray
 {
   public:
-    explicit Bank(const TimingParams &t, bool dual_row_buffers)
-        : timing_(&t), dualRowBuffers_(dual_row_buffers)
+    BankArray(const TimingParams &t, bool dual_row_buffers, int nbanks)
+        : timing_(&t), dualRowBuffers_(dual_row_buffers),
+          memOpenRow_(static_cast<std::size_t>(nbanks), -1),
+          pimOpenRow_(static_cast<std::size_t>(nbanks), -1),
+          nextActAny_(static_cast<std::size_t>(nbanks), 0),
+          memNextAct_(static_cast<std::size_t>(nbanks), 0),
+          pimNextAct_(static_cast<std::size_t>(nbanks), 0),
+          memNextColumn_(static_cast<std::size_t>(nbanks), 0),
+          pimNextColumn_(static_cast<std::size_t>(nbanks), 0),
+          memNextPre_(static_cast<std::size_t>(nbanks), 0),
+          pimNextPre_(static_cast<std::size_t>(nbanks), 0)
     {}
 
     bool dualRowBuffers() const { return dualRowBuffers_; }
+    int size() const { return static_cast<int>(memOpenRow_.size()); }
 
     /** Currently open row on a side, or -1 if the buffer is closed. */
     int
-    openRow(BufferSide side) const
+    openRow(BankId b, BufferSide side) const
     {
-        return side == BufferSide::Mem ? memOpenRow_ : pimOpenRow_;
+        return side == BufferSide::Mem ? memOpenRow_[idx(b)]
+                                       : pimOpenRow_[idx(b)];
     }
 
     /** Earliest cycle an ACTIVATE for @p side may issue (bank-local). */
     Cycle
-    earliestActivate(BufferSide side) const
+    earliestActivate(BankId b, BufferSide side) const
     {
         // Row activations on either buffer contend for the shared cell
         // array access circuitry: tRC is enforced across both sides.
         // Precharge-readiness is tracked per side.
-        Cycle ready = std::max(nextActAny_, sideNextAct(side));
-        return ready;
+        return std::max(nextActAny_[idx(b)],
+                        side == BufferSide::Mem ? memNextAct_[idx(b)]
+                                                : pimNextAct_[idx(b)]);
     }
 
     /** Earliest cycle a column command (RD/WR/dot-product) may issue. */
     Cycle
-    earliestColumn(BufferSide side) const
+    earliestColumn(BankId b, BufferSide side) const
     {
-        return side == BufferSide::Mem ? memNextColumn_ : pimNextColumn_;
+        return side == BufferSide::Mem ? memNextColumn_[idx(b)]
+                                       : pimNextColumn_[idx(b)];
     }
 
     /** Earliest cycle a PRECHARGE for @p side may issue. */
     Cycle
-    earliestPrecharge(BufferSide side) const
+    earliestPrecharge(BankId b, BufferSide side) const
     {
-        return side == BufferSide::Mem ? memNextPre_ : pimNextPre_;
+        return side == BufferSide::Mem ? memNextPre_[idx(b)]
+                                       : pimNextPre_[idx(b)];
     }
 
     /**
      * Apply an ACTIVATE issued at @p when opening @p row on @p side.
-     * @pre when >= earliestActivate(side)
+     * @pre when >= earliestActivate(b, side)
      */
     void
-    activate(BufferSide side, int row, Cycle when)
+    activate(BankId b, BufferSide side, int row, Cycle when)
     {
         const auto &t = *timing_;
-        if (!dualRowBuffers_) {
-            // Single buffer: activating for one side closes the other.
-            memOpenRow_ = -1;
-            pimOpenRow_ = -1;
-        }
-        if (side == BufferSide::Mem) {
-            memOpenRow_ = row;
-            memNextColumn_ = when + t.tRCD;
-            memNextPre_ = when + t.tRAS;
-        } else {
-            pimOpenRow_ = row;
-            pimNextColumn_ = when + t.tRCD;
-            pimNextPre_ = when + t.tRAS;
-        }
+        std::size_t i = idx(b);
         if (!dualRowBuffers_) {
             // Aliased buffer: both sides observe the same open row and
             // the same column/precharge readiness.
-            memOpenRow_ = pimOpenRow_ = row;
-            memNextColumn_ = pimNextColumn_ = when + t.tRCD;
-            memNextPre_ = pimNextPre_ = when + t.tRAS;
+            memOpenRow_[i] = pimOpenRow_[i] = row;
+            memNextColumn_[i] = pimNextColumn_[i] = when + t.tRCD;
+            memNextPre_[i] = pimNextPre_[i] = when + t.tRAS;
+        } else if (side == BufferSide::Mem) {
+            memOpenRow_[i] = row;
+            memNextColumn_[i] = when + t.tRCD;
+            memNextPre_[i] = when + t.tRAS;
+        } else {
+            pimOpenRow_[i] = row;
+            pimNextColumn_[i] = when + t.tRCD;
+            pimNextPre_[i] = when + t.tRAS;
         }
-        nextActAny_ = when + t.tRC();
-        sideNextAct(side) = when + t.tRC();
+        nextActAny_[i] = when + t.tRC();
+        sideNextAct(i, side) = when + t.tRC();
     }
 
     /** Apply a read issued at @p when. */
     void
-    read(BufferSide side, Cycle when)
+    read(BankId b, BufferSide side, Cycle when)
     {
         const auto &t = *timing_;
+        std::size_t i = idx(b);
         Cycle pre_ready = when + t.tRTP;
         if (side == BufferSide::Mem || !dualRowBuffers_)
-            memNextPre_ = std::max(memNextPre_, pre_ready);
+            memNextPre_[i] = std::max(memNextPre_[i], pre_ready);
         if (side == BufferSide::Pim || !dualRowBuffers_)
-            pimNextPre_ = std::max(pimNextPre_, pre_ready);
+            pimNextPre_[i] = std::max(pimNextPre_[i], pre_ready);
     }
 
     /** Apply a write issued at @p when. */
     void
-    write(BufferSide side, Cycle when)
+    write(BankId b, BufferSide side, Cycle when)
     {
         const auto &t = *timing_;
+        std::size_t i = idx(b);
         Cycle pre_ready = when + t.tCWL + t.tBL + t.tWR;
         if (side == BufferSide::Mem || !dualRowBuffers_)
-            memNextPre_ = std::max(memNextPre_, pre_ready);
+            memNextPre_[i] = std::max(memNextPre_[i], pre_ready);
         if (side == BufferSide::Pim || !dualRowBuffers_)
-            pimNextPre_ = std::max(pimNextPre_, pre_ready);
+            pimNextPre_[i] = std::max(pimNextPre_[i], pre_ready);
     }
 
     /** Apply a PRECHARGE issued at @p when closing @p side's buffer. */
     void
-    precharge(BufferSide side, Cycle when)
+    precharge(BankId b, BufferSide side, Cycle when)
     {
         const auto &t = *timing_;
+        std::size_t i = idx(b);
         if (side == BufferSide::Mem || !dualRowBuffers_) {
-            memOpenRow_ = -1;
-            sideNextAct(BufferSide::Mem) =
-                std::max(sideNextAct(BufferSide::Mem), when + t.tRP);
+            memOpenRow_[i] = -1;
+            memNextAct_[i] = std::max(memNextAct_[i], when + t.tRP);
         }
         if (side == BufferSide::Pim || !dualRowBuffers_) {
-            pimOpenRow_ = -1;
-            sideNextAct(BufferSide::Pim) =
-                std::max(sideNextAct(BufferSide::Pim), when + t.tRP);
+            pimOpenRow_[i] = -1;
+            pimNextAct_[i] = std::max(pimNextAct_[i], when + t.tRP);
         }
     }
 
     /** Apply an all-bank REFRESH issued at @p when. */
     void
-    refresh(Cycle when)
+    refreshAll(Cycle when)
     {
         const auto &t = *timing_;
-        memOpenRow_ = -1;
-        pimOpenRow_ = -1;
         Cycle done = when + t.tRFC;
-        nextActAny_ = std::max(nextActAny_, done);
-        memNextAct_ = std::max(memNextAct_, done);
-        pimNextAct_ = std::max(pimNextAct_, done);
-        memNextColumn_ = std::max(memNextColumn_, done);
-        pimNextColumn_ = std::max(pimNextColumn_, done);
+        std::size_t n = memOpenRow_.size();
+        // Dense column-wise maxes: this is the SoA payoff — the JEDEC
+        // refresh and the all-bank readiness scan in issueRefresh walk
+        // nine flat arrays instead of striding across bank objects.
+        for (std::size_t i = 0; i < n; ++i)
+            memOpenRow_[i] = -1;
+        for (std::size_t i = 0; i < n; ++i)
+            pimOpenRow_[i] = -1;
+        for (std::size_t i = 0; i < n; ++i)
+            nextActAny_[i] = std::max(nextActAny_[i], done);
+        for (std::size_t i = 0; i < n; ++i)
+            memNextAct_[i] = std::max(memNextAct_[i], done);
+        for (std::size_t i = 0; i < n; ++i)
+            pimNextAct_[i] = std::max(pimNextAct_[i], done);
+        for (std::size_t i = 0; i < n; ++i)
+            memNextColumn_[i] = std::max(memNextColumn_[i], done);
+        for (std::size_t i = 0; i < n; ++i)
+            pimNextColumn_[i] = std::max(pimNextColumn_[i], done);
+    }
+
+    /** Latest earliestPrecharge over both sides of all banks. */
+    Cycle
+    maxEarliestPrecharge() const
+    {
+        Cycle when = 0;
+        for (Cycle c : memNextPre_)
+            when = std::max(when, c);
+        for (Cycle c : pimNextPre_)
+            when = std::max(when, c);
+        return when;
     }
 
   private:
-    Cycle &
-    sideNextAct(BufferSide side)
-    {
-        return side == BufferSide::Mem ? memNextAct_ : pimNextAct_;
-    }
+    static std::size_t idx(BankId b) { return static_cast<std::size_t>(b); }
 
-    Cycle
-    sideNextAct(BufferSide side) const
+    Cycle &
+    sideNextAct(std::size_t i, BufferSide side)
     {
-        return side == BufferSide::Mem ? memNextAct_ : pimNextAct_;
+        return side == BufferSide::Mem ? memNextAct_[i] : pimNextAct_[i];
     }
 
     const TimingParams *timing_;
     bool dualRowBuffers_;
 
-    int memOpenRow_ = -1;
-    int pimOpenRow_ = -1;
+    std::vector<int> memOpenRow_;
+    std::vector<int> pimOpenRow_;
 
-    Cycle nextActAny_ = 0;   ///< tRC across both buffers (shared array)
-    Cycle memNextAct_ = 0;
-    Cycle pimNextAct_ = 0;
-    Cycle memNextColumn_ = 0;
-    Cycle pimNextColumn_ = 0;
-    Cycle memNextPre_ = 0;
-    Cycle pimNextPre_ = 0;
+    std::vector<Cycle> nextActAny_; ///< tRC across both buffers
+    std::vector<Cycle> memNextAct_;
+    std::vector<Cycle> pimNextAct_;
+    std::vector<Cycle> memNextColumn_;
+    std::vector<Cycle> pimNextColumn_;
+    std::vector<Cycle> memNextPre_;
+    std::vector<Cycle> pimNextPre_;
+};
+
+/**
+ * Two-word handle onto one bank of a BankArray, preserving the old
+ * per-bank method API at the controller/channel call sites. Copies
+ * are cheap; a non-const ref mutates the underlying array.
+ */
+class BankRef
+{
+  public:
+    BankRef(BankArray &a, BankId b) : a_(&a), b_(b) {}
+
+    bool dualRowBuffers() const { return a_->dualRowBuffers(); }
+    int openRow(BufferSide side) const { return a_->openRow(b_, side); }
+    Cycle
+    earliestActivate(BufferSide side) const
+    {
+        return a_->earliestActivate(b_, side);
+    }
+    Cycle
+    earliestColumn(BufferSide side) const
+    {
+        return a_->earliestColumn(b_, side);
+    }
+    Cycle
+    earliestPrecharge(BufferSide side) const
+    {
+        return a_->earliestPrecharge(b_, side);
+    }
+    void
+    activate(BufferSide side, int row, Cycle when)
+    {
+        a_->activate(b_, side, row, when);
+    }
+    void read(BufferSide side, Cycle when) { a_->read(b_, side, when); }
+    void write(BufferSide side, Cycle when) { a_->write(b_, side, when); }
+    void
+    precharge(BufferSide side, Cycle when)
+    {
+        a_->precharge(b_, side, when);
+    }
+    void refresh(Cycle when) { a_->refreshAll(when); }
+
+  private:
+    BankArray *a_;
+    BankId b_;
+};
+
+/** Read-only counterpart of BankRef for const channel access. */
+class ConstBankRef
+{
+  public:
+    ConstBankRef(const BankArray &a, BankId b) : a_(&a), b_(b) {}
+
+    bool dualRowBuffers() const { return a_->dualRowBuffers(); }
+    int openRow(BufferSide side) const { return a_->openRow(b_, side); }
+    Cycle
+    earliestActivate(BufferSide side) const
+    {
+        return a_->earliestActivate(b_, side);
+    }
+    Cycle
+    earliestColumn(BufferSide side) const
+    {
+        return a_->earliestColumn(b_, side);
+    }
+    Cycle
+    earliestPrecharge(BufferSide side) const
+    {
+        return a_->earliestPrecharge(b_, side);
+    }
+
+  private:
+    const BankArray *a_;
+    BankId b_;
+};
+
+/**
+ * Standalone single bank: a one-element BankArray. The unit of the
+ * bank-level tests and the reference for the per-bank constraint
+ * algebra documented above.
+ */
+class Bank
+{
+  public:
+    explicit Bank(const TimingParams &t, bool dual_row_buffers)
+        : a_(t, dual_row_buffers, 1)
+    {}
+
+    bool dualRowBuffers() const { return a_.dualRowBuffers(); }
+    int openRow(BufferSide side) const { return a_.openRow(0, side); }
+    Cycle
+    earliestActivate(BufferSide side) const
+    {
+        return a_.earliestActivate(0, side);
+    }
+    Cycle
+    earliestColumn(BufferSide side) const
+    {
+        return a_.earliestColumn(0, side);
+    }
+    Cycle
+    earliestPrecharge(BufferSide side) const
+    {
+        return a_.earliestPrecharge(0, side);
+    }
+    void
+    activate(BufferSide side, int row, Cycle when)
+    {
+        a_.activate(0, side, row, when);
+    }
+    void read(BufferSide side, Cycle when) { a_.read(0, side, when); }
+    void write(BufferSide side, Cycle when) { a_.write(0, side, when); }
+    void
+    precharge(BufferSide side, Cycle when)
+    {
+        a_.precharge(0, side, when);
+    }
+    void refresh(Cycle when) { a_.refreshAll(when); }
+
+  private:
+    BankArray a_;
 };
 
 } // namespace neupims::dram

@@ -9,12 +9,9 @@ namespace neupims::dram {
 Channel::Channel(const TimingParams &timing, const Organization &org,
                  bool dual_row_buffers)
     : timing_(&timing), org_(&org), dualRowBuffers_(dual_row_buffers),
+      banks_(timing, dual_row_buffers, org.banksPerChannel),
       lastActPerGroup_(org.bankGroups(), 0), nextRefresh_(timing.tREFI)
-{
-    banks_.reserve(org.banksPerChannel);
-    for (int b = 0; b < org.banksPerChannel; ++b)
-        banks_.emplace_back(timing, dual_row_buffers);
-}
+{}
 
 Cycle
 Channel::earliestCa(Cycle not_before, Cycle) const
@@ -59,7 +56,7 @@ Cycle
 Channel::earliestActivate(BankId bank, BufferSide side,
                           Cycle not_before) const
 {
-    Cycle when = banks_[bank].earliestActivate(side);
+    Cycle when = banks_.earliestActivate(bank, side);
     when = std::max(when, not_before);
     when = actWindowConstraint(bank, when);
     when = std::max(when, caNextFree_);
@@ -70,7 +67,7 @@ Cycle
 Channel::earliestColumn(BankId bank, BufferSide side, bool,
                         Cycle not_before) const
 {
-    Cycle when = banks_[bank].earliestColumn(side);
+    Cycle when = banks_.earliestColumn(bank, side);
     when = std::max(when, not_before);
     when = std::max(when, caNextFree_);
     return when;
@@ -82,7 +79,7 @@ Channel::issueActivate(BankId bank, BufferSide side, int row,
 {
     const auto &t = *timing_;
     Cycle when = earliestActivate(bank, side, not_before);
-    banks_[bank].activate(side, row, when);
+    banks_.activate(bank, side, row, when);
     recordActivate(bank, when);
     caNextFree_ = when + t.caMemCmd;
     caBusUtil_.addBusy(when, when + t.caMemCmd);
@@ -100,7 +97,7 @@ Channel::issueRead(BankId bank, BufferSide side, Cycle not_before)
     // the data bus free; push the issue cycle until it does.
     Cycle burst_start = std::max(when + t.tCL, dataNextFree_);
     when = burst_start - t.tCL;
-    banks_[bank].read(side, when);
+    banks_.read(bank, side, when);
     caNextFree_ = when + t.caMemCmd;
     caBusUtil_.addBusy(when, when + t.caMemCmd);
     dataNextFree_ = burst_start + t.tBL;
@@ -117,7 +114,7 @@ Channel::issueWrite(BankId bank, BufferSide side, Cycle not_before)
     Cycle when = earliestColumn(bank, side, true, not_before);
     Cycle burst_start = std::max(when + t.tCWL, dataNextFree_);
     when = burst_start - t.tCWL;
-    banks_[bank].write(side, when);
+    banks_.write(bank, side, when);
     caNextFree_ = when + t.caMemCmd;
     caBusUtil_.addBusy(when, when + t.caMemCmd);
     dataNextFree_ = burst_start + t.tBL;
@@ -132,9 +129,9 @@ Channel::issuePrecharge(BankId bank, BufferSide side, Cycle not_before)
 {
     const auto &t = *timing_;
     Cycle when = std::max(not_before,
-                          banks_[bank].earliestPrecharge(side));
+                          banks_.earliestPrecharge(bank, side));
     when = std::max(when, caNextFree_);
-    banks_[bank].precharge(side, when);
+    banks_.precharge(bank, side, when);
     caNextFree_ = when + t.caMemCmd;
     caBusUtil_.addBusy(when, when + t.caMemCmd);
     counts_.record(side == BufferSide::Pim ? CommandType::PimPrecharge
@@ -149,12 +146,8 @@ Channel::issueRefresh(Cycle not_before)
     // All banks must be precharged; wait for every bank to be
     // precharge-ready, then precharge implicitly (REF closes rows).
     Cycle when = std::max(not_before, caNextFree_);
-    for (const auto &b : banks_) {
-        when = std::max(when, b.earliestPrecharge(BufferSide::Mem));
-        when = std::max(when, b.earliestPrecharge(BufferSide::Pim));
-    }
-    for (auto &b : banks_)
-        b.refresh(when);
+    when = std::max(when, banks_.maxEarliestPrecharge());
+    banks_.refreshAll(when);
     caNextFree_ = when + t.caMemCmd;
     caBusUtil_.addBusy(when, when + t.caMemCmd);
     counts_.record(CommandType::Ref);
@@ -169,8 +162,8 @@ Channel::earliestPimActivateGroup(BankId first, int nbanks,
 {
     Cycle when = not_before;
     for (int i = 0; i < nbanks; ++i)
-        when = std::max(when, banks_[first + i].earliestActivate(
-                                  BufferSide::Pim));
+        when = std::max(when, banks_.earliestActivate(
+                                  first + i, BufferSide::Pim));
     when = actWindowConstraint(first, when);
     if (needs_ca)
         when = std::max(when, caNextFree_);
@@ -186,7 +179,7 @@ Channel::issuePimActivateGroup(BankId first, int nbanks, int row,
     Cycle when = earliestPimActivateGroup(first, nbanks, not_before,
                                           charge_ca);
     for (int i = 0; i < nbanks; ++i)
-        banks_[first + i].activate(BufferSide::Pim, row, when);
+        banks_.activate(first + i, BufferSide::Pim, row, when);
     recordActivate(first, when);
     if (charge_ca) {
         caNextFree_ = when + t.caPimCmd;

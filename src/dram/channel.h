@@ -33,9 +33,12 @@ class Channel
 
     const TimingParams &timing() const { return *timing_; }
     const Organization &organization() const { return *org_; }
-    int numBanks() const { return static_cast<int>(banks_.size()); }
-    Bank &bank(BankId b) { return banks_.at(b); }
-    const Bank &bank(BankId b) const { return banks_.at(b); }
+    int numBanks() const { return banks_.size(); }
+    BankRef bank(BankId b) { return BankRef(banks_, b); }
+    ConstBankRef bank(BankId b) const { return ConstBankRef(banks_, b); }
+    /** The channel's SoA bank state (dense whole-channel scans). */
+    BankArray &banks() { return banks_; }
+    const BankArray &banks() const { return banks_; }
     bool dualRowBuffers() const { return dualRowBuffers_; }
 
     /** Bank group of a bank id (4 banks per group, Table 2). */
@@ -149,7 +152,7 @@ class Channel
     const Organization *org_;
     bool dualRowBuffers_;
 
-    std::vector<Bank> banks_;
+    BankArray banks_; ///< SoA per-bank state for the whole channel
 
     Cycle caNextFree_ = 0;
     Cycle dataNextFree_ = 0;

@@ -81,11 +81,44 @@ MemoryController::kick()
         return;
     kickScheduled_ = true;
     nextKickAt_ = now;
-    eq_.schedule(now, [this] {
-        kickScheduled_ = false;
-        nextKickAt_ = kCycleMax;
-        process();
-    });
+    eq_.scheduleSharded(now, this);
+}
+
+void
+MemoryController::prepare()
+{
+    // Mirrors the former kick-event lambda: clear the pending-kick
+    // marker, then run the arbitration loop. deferred_ routes every
+    // external effect into the segment commit() replays.
+    kickScheduled_ = false;
+    nextKickAt_ = kCycleMax;
+    pendingResume_ = kCycleMax;
+    deferred_ = true;
+    process();
+    deferred_ = false;
+    deferredSegs_.push_back({deferredCalls_.size(), pendingResume_});
+}
+
+void
+MemoryController::commit()
+{
+    NEUPIMS_ASSERT(segCursor_ < deferredSegs_.size(),
+                   "commit without a matching prepare");
+    const DeferredSeg seg = deferredSegs_[segCursor_++];
+    while (callCursor_ < seg.callsEnd) {
+        DeferredCall &c = deferredCalls_[callCursor_++];
+        c.fn(c.at);
+    }
+    // The resume is scheduled after the callbacks, exactly where the
+    // serial control flow placed its eq_.schedule call.
+    if (seg.resume != kCycleMax)
+        eq_.scheduleSharded(seg.resume, this);
+    if (segCursor_ == deferredSegs_.size()) {
+        deferredSegs_.clear();
+        deferredCalls_.clear();
+        segCursor_ = 0;
+        callCursor_ = 0;
+    }
 }
 
 void
@@ -145,7 +178,7 @@ MemoryController::candidateMem(int &which) const
     std::uint64_t bestSeq = 0;
     for (int i = 0; i < static_cast<int>(memInFlight_.size()); ++i) {
         const auto &m = memInFlight_[i];
-        const Bank &bank = channel_.bank(m.job.bank);
+        ConstBankRef bank = channel_.bank(m.job.bank);
         Cycle lb = std::max(m.enqueued, eq_.now());
         Cycle c;
         if (m.phase == MemExec::Phase::PreOrAct) {
@@ -229,7 +262,7 @@ void
 MemoryController::stepMem(int which)
 {
     auto &m = memInFlight_[which];
-    Bank &bank = channel_.bank(m.job.bank);
+    BankRef bank = channel_.bank(m.job.bank);
     Cycle lb = std::max(m.enqueued, eq_.now());
 
     if (m.phase == MemExec::Phase::PreOrAct) {
@@ -282,9 +315,16 @@ MemoryController::finishMem(MemExec &exec)
     // Callback contract: invoked as soon as the completion cycle is
     // *known* (commands are committed ahead of simulated time up to
     // the horizon); the Cycle argument is the authoritative completion
-    // time and callers schedule their continuations at it.
-    if (exec.job.onComplete)
-        exec.job.onComplete(exec.lastBurstEnd);
+    // time and callers schedule their continuations at it. Under
+    // sharded dispatch the invocation is deferred to commit(), which
+    // replays callbacks in the order they were produced here.
+    if (exec.job.onComplete) {
+        if (deferred_)
+            deferredCalls_.push_back(
+                {std::move(exec.job.onComplete), exec.lastBurstEnd});
+        else
+            exec.job.onComplete(exec.lastBurstEnd);
+    }
 }
 
 void
@@ -399,11 +439,11 @@ MemoryController::stepPim()
         Cycle when = channel_.issuePimCaCommand(
             CommandType::PimPrecharge,
             std::max({lb, p.kernelComputeEnd, p.resultEnd}));
+        auto &banks = channel_.banks();
         for (int b = 0; b < p.job.banksUsed; ++b) {
-            Bank &bank = channel_.bank(b);
             Cycle w = std::max(
-                when, bank.earliestPrecharge(BufferSide::Pim));
-            bank.precharge(BufferSide::Pim, w);
+                when, banks.earliestPrecharge(b, BufferSide::Pim));
+            banks.precharge(b, BufferSide::Pim, w);
         }
         p.phase = PimExec::Phase::Done;
         finishPim(std::max(p.resultEnd, p.kernelComputeEnd));
@@ -438,8 +478,12 @@ MemoryController::finishPim(Cycle done)
     auto job = std::move(pim_->job);
     pim_.reset();
     // Same synchronous-callback contract as finishMem.
-    if (job.onComplete)
-        job.onComplete(done);
+    if (job.onComplete) {
+        if (deferred_)
+            deferredCalls_.push_back({std::move(job.onComplete), done});
+        else
+            job.onComplete(done);
+    }
 }
 
 bool
@@ -512,11 +556,10 @@ MemoryController::process()
             if (!kickScheduled_ || nextKickAt_ > resume) {
                 kickScheduled_ = true;
                 nextKickAt_ = resume;
-                eq_.schedule(resume, [this] {
-                    kickScheduled_ = false;
-                    nextKickAt_ = kCycleMax;
-                    process();
-                });
+                if (deferred_)
+                    pendingResume_ = resume;
+                else
+                    eq_.scheduleSharded(resume, this);
             }
             return;
         }

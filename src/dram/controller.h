@@ -118,7 +118,18 @@ struct ControllerConfig
     }
 };
 
-class MemoryController
+/**
+ * The controller is a ShardedEvent: its kick/resume events carry a
+ * shard tag so the event queue can batch same-cycle events of
+ * *different* controllers onto the worker pool. prepare() runs the
+ * arbitration loop touching only this channel's state (plus the
+ * stable queue clock); every externally visible effect — job
+ * completion callbacks and the horizon-resume schedule() — is
+ * buffered and replayed by commit() in original sequence order, which
+ * is what makes threaded stepping bit-identical to serial
+ * (DESIGN.md §12).
+ */
+class MemoryController : public ShardedEvent
 {
   public:
     MemoryController(EventQueue &eq, const TimingParams &timing,
@@ -126,6 +137,12 @@ class MemoryController
 
     void enqueueMem(MemJob job);
     void enqueuePim(PimJob job);
+
+    // --- ShardedEvent ---------------------------------------------------
+    /** Run the arbitration loop, deferring external effects. */
+    void prepare() override;
+    /** Replay deferred completion callbacks and the resume schedule. */
+    void commit() override;
 
     Channel &channel() { return channel_; }
     const Channel &channel() const { return channel_; }
@@ -248,6 +265,29 @@ class MemoryController
 
     bool kickScheduled_ = false;
     Cycle nextKickAt_ = kCycleMax;
+
+    /**
+     * Deferred external effects of one prepare() pass. A controller
+     * can be dispatched twice in one batch (stale kick + resume at
+     * the same cycle), so segments carry watermarks: each commit()
+     * replays exactly its own prepare()'s callbacks and resume.
+     */
+    struct DeferredCall
+    {
+        std::function<void(Cycle)> fn;
+        Cycle at;
+    };
+    struct DeferredSeg
+    {
+        std::size_t callsEnd;  ///< watermark into deferredCalls_
+        Cycle resume;          ///< kCycleMax: no resume to schedule
+    };
+    bool deferred_ = false;        ///< inside prepare(): buffer effects
+    Cycle pendingResume_ = kCycleMax;
+    std::vector<DeferredCall> deferredCalls_;
+    std::vector<DeferredSeg> deferredSegs_;
+    std::size_t callCursor_ = 0;
+    std::size_t segCursor_ = 0;
 
     std::unique_ptr<MemSchedPolicy> sched_;
     std::vector<Cycle> memBankBusyCycles_;
