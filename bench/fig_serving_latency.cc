@@ -65,6 +65,15 @@
  * Wall-clock seconds print to stdout only — the JSON stays
  * deterministic for CI's full-content staleness compare.
  *
+ * An eighth sweep turns refcounted copy-on-write KV page sharing
+ * (the radix prefix index, DESIGN.md §13) off and on under
+ * conversational session traffic (multi-turn prompts over a hot
+ * shared system prompt) across hot-prefix fractions and offered
+ * loads, emitting TTFT/TBT percentiles plus the prefix-cache
+ * counters (hit rate, deduplicated tokens and pages, COW copies,
+ * publications, reclaims) under "prefix_sweep" — what whole-page
+ * prefix reuse buys on time-to-first-token.
+ *
  * Environment: NEUPIMS_BENCH_FAST=1 shrinks the sweep;
  * NEUPIMS_BENCH_SEED overrides the workload seed (default 42).
  */
@@ -918,6 +927,114 @@ main()
                 else
                     std::printf("      FAILED writing "
                                 "BENCH_serving.anchors.tsv\n");
+            }
+        }
+    }
+
+    std::fprintf(json, "\n  ],\n  \"prefix_sweep\": [\n");
+
+    // --- Shared-prefix KV sweep: COW page sharing off vs on --------
+    // Conversational session traffic (multi-turn prompts over a hot
+    // system prompt, DESIGN.md §13) on the strongest backend with
+    // recompute preemption, across hot-prefix fractions and offered
+    // loads. The off arm prices every prefill token from scratch;
+    // the on arm binds whole cached pages by reference and prices
+    // only the uncached suffix plus a prefix-read term — the TTFT
+    // gap plus the dedup counters are what the radix index buys.
+    struct PrefixArm
+    {
+        const char *name;
+        bool share;
+    };
+    const std::vector<PrefixArm> prefix_arms = {{"share-off", false},
+                                                {"share-on", true}};
+    const std::vector<double> hot_fractions = {0.5, 1.0};
+    std::vector<double> prefix_rates = {192.0, 384.0, 576.0};
+    if (bench::fastMode())
+        prefix_rates = {384.0};
+
+    std::printf("\n=== Shared-prefix KV sweep (NeuPIMs+SBI, session, "
+                "ShareGPT, sys 1536, turns 8, recompute) ===\n\n");
+    std::printf("%-10s %4s %5s | %8s %8s | %7s | %5s %6s %8s %8s | "
+                "%5s\n",
+                "sharing", "hot", "rps", "ttft-p50", "ttft-p95",
+                "tbt-p95", "hit%", "pages", "tok-dedup", "publish",
+                "drops");
+
+    first = true;
+    for (const auto &arm : prefix_arms) {
+        for (double hot : hot_fractions) {
+            for (double prate : prefix_rates) {
+                runtime::SessionTrafficConfig scfg;
+                scfg.hotFraction = hot;
+                scfg.systemPromptTokens = 1536;
+                scfg.meanTurns = 8.0;
+                scfg.thinkMs = 80.0;
+                auto traffic = runtime::makeSessionTraffic(
+                    ds, prate, requests, seed, scfg);
+                auto cfg = core::servingConfigFor(backend.device, llm);
+                core::ServingOptions sopt;
+                sopt.preempt = "recompute";
+                sopt.prefixShare = arm.share;
+                core::applyServingOptions(cfg, sopt);
+                runtime::ServingEngine engine(cfg, *traffic, *latency);
+                auto report = engine.run();
+
+                std::printf(
+                    "%-10s %4.2f %5.0f | %8.1f %8.1f | %7.2f | "
+                    "%4.0f%% %6llu %8llu %8llu | %5d\n",
+                    arm.name, hot, prate, report.ttftUs.p50() / 1e3,
+                    report.ttftUs.p95() / 1e3,
+                    report.tbtUs.p95() / 1e3,
+                    report.prefixHitRate * 100.0,
+                    static_cast<unsigned long long>(
+                        report.prefixPagesDeduped),
+                    static_cast<unsigned long long>(
+                        report.prefixTokensDeduped),
+                    static_cast<unsigned long long>(
+                        report.prefixPagesPublished),
+                    report.requestsDropped);
+
+                std::fprintf(
+                    json,
+                    "%s    {\n      \"sharing\": \"%s\", "
+                    "\"hot_fraction\": %.2f, \"rate_rps\": %.0f, "
+                    "\"completed\": %d, \"dropped\": %d,\n"
+                    "      \"tokens_per_s\": %.1f, "
+                    "\"mean_batch\": %.2f, \"preemptions\": %llu,\n"
+                    "      \"prefix_admissions\": %llu, "
+                    "\"prefix_hits\": %llu, \"hit_rate\": %.4f,\n"
+                    "      \"tokens_deduped\": %llu, "
+                    "\"pages_deduped\": %llu, \"cow_copies\": %llu, "
+                    "\"pages_published\": %llu, "
+                    "\"pages_reclaimed\": %llu,\n",
+                    first ? "" : ",\n", arm.name, hot, prate,
+                    report.requestsCompleted, report.requestsDropped,
+                    report.tokensPerSecond(), report.meanBatchSize,
+                    static_cast<unsigned long long>(
+                        report.preemptions),
+                    static_cast<unsigned long long>(
+                        report.prefixAdmissions),
+                    static_cast<unsigned long long>(
+                        report.prefixHits),
+                    report.prefixHitRate,
+                    static_cast<unsigned long long>(
+                        report.prefixTokensDeduped),
+                    static_cast<unsigned long long>(
+                        report.prefixPagesDeduped),
+                    static_cast<unsigned long long>(
+                        report.prefixCowCopies),
+                    static_cast<unsigned long long>(
+                        report.prefixPagesPublished),
+                    static_cast<unsigned long long>(
+                        report.prefixPagesReclaimed));
+                emitLatency(json, "ttft_ms", report.ttftUs, 1e-3,
+                            true);
+                emitLatency(json, "tbt_ms", report.tbtUs, 1e-3, true);
+                emitLatency(json, "e2e_ms", report.e2eUs, 1e-3,
+                            false);
+                std::fprintf(json, "    }");
+                first = false;
             }
         }
     }

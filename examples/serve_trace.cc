@@ -28,6 +28,8 @@
  *                 [--fault SPEC] [--client-timeout-ms F]
  *                 [--retries N] [--retry-backoff-ms F]
  *                 [--shed-watermark F] [--shed-wait-ms F]
+ *                 [--prefix-share] [--hot-fraction F]
+ *                 [--sys-tokens N] [--turns F] [--think-ms F]
  *                 [--threads N] [--hybrid N] [--hybrid-anchors FILE]
  *
  * --trace replays an external CSV (arrival_us,input,output rows) in
@@ -79,6 +81,18 @@
  * watermarks). Runs with any robustness event print an availability
  * summary line (timeouts, sheds, retries, wasted tokens, recovery
  * time, goodput) under the config row.
+ *
+ * --prefix-share turns on refcounted copy-on-write KV page sharing
+ * over the radix prefix index (runtime/kv_cache.h, DESIGN.md §13):
+ * admission binds whole prompt pages already in the index by
+ * reference and prefill starts at the first uncached token. Off (the
+ * default) reproduces every pre-sharing trace byte-for-byte. The
+ * "session" --traffic kind generates multi-turn conversations with a
+ * shared system prompt — --hot-fraction sets the share of sessions
+ * carrying it, --sys-tokens its length, --turns the mean turns per
+ * session and --think-ms the mean think-time gap between turns. Runs
+ * with sharing enabled print a prefix summary line (hit rate, tokens/
+ * pages deduplicated, COW copies) under the config row.
  *
  * --threads N runs every cycle-accurate engine window on N simulator
  * worker lanes (same-cycle controller events of different channels
@@ -138,6 +152,13 @@ struct Options
     double retryBackoffMs = 5.0;
     double shedWatermark = 0.0;
     double shedWaitMs = 0.0;
+    /** Refcounted COW prefix sharing (runtime/kv_cache.h). */
+    bool prefixShare = false;
+    /** Session-traffic shape (used by --traffic session only). */
+    double hotFraction = 0.75;
+    int sysTokens = 192;
+    double meanTurns = 3.0;
+    double thinkMs = 150.0;
     int maxLen = 0; ///< 0 = dataset default
     bool measured = false;
     bool calibrate = false;
@@ -190,8 +211,8 @@ usage(const char *argv0)
         "usage: %s [--requests N] [--rate RPS] [--seed S]\n"
         "          [--model NAME] [--backend "
         "NPU-only|NPU+PIM|NeuPIMs|NeuPIMs+SBI|all]\n"
-        "          [--traffic poisson|bursty|replay|all] [--dataset "
-        "ShareGPT|Alpaca|all]\n"
+        "          [--traffic poisson|bursty|replay|session|all] "
+        "[--dataset ShareGPT|Alpaca|all]\n"
         "          [--trace FILE.csv] [--measured] [--calibrate] "
         "[--dump-trace]\n"
         "          [--prefill legacy|whole|chunked] [--chunk N] "
@@ -207,6 +228,9 @@ usage(const char *argv0)
         "          [--client-timeout-ms F] [--retries N] "
         "[--retry-backoff-ms F]\n"
         "          [--shed-watermark F] [--shed-wait-ms F]\n"
+        "          [--prefix-share] [--hot-fraction F] "
+        "[--sys-tokens N]\n"
+        "          [--turns F] [--think-ms F]\n"
         "          [--threads N] [--hybrid N] "
         "[--hybrid-anchors FILE]\n",
         argv0);
@@ -281,6 +305,16 @@ main(int argc, char **argv)
             opt.shedWatermark = std::atof(value());
         else if (arg == "--shed-wait-ms")
             opt.shedWaitMs = std::atof(value());
+        else if (arg == "--prefix-share")
+            opt.prefixShare = true;
+        else if (arg == "--hot-fraction")
+            opt.hotFraction = std::atof(value());
+        else if (arg == "--sys-tokens")
+            opt.sysTokens = std::atoi(value());
+        else if (arg == "--turns")
+            opt.meanTurns = std::atof(value());
+        else if (arg == "--think-ms")
+            opt.thinkMs = std::atof(value());
         else if (arg == "--max-len")
             opt.maxLen = std::atoi(value());
         else if (arg == "--threads")
@@ -396,13 +430,22 @@ main(int argc, char **argv)
             double rate = opt.rate > 0 ? opt.rate : defaultRate(ds);
             for (const auto &kind : traffics) {
                 std::unique_ptr<runtime::TrafficModel> traffic;
-                if (kind == "replay" && !opt.traceCsv.empty())
+                if (kind == "replay" && !opt.traceCsv.empty()) {
                     traffic = runtime::ReplayTraffic::fromCsvFile(
                         opt.traceCsv);
-                else
+                } else if (kind == "session") {
+                    runtime::SessionTrafficConfig scfg;
+                    scfg.hotFraction = opt.hotFraction;
+                    scfg.systemPromptTokens = opt.sysTokens;
+                    scfg.meanTurns = opt.meanTurns;
+                    scfg.thinkMs = opt.thinkMs;
+                    traffic = runtime::makeSessionTraffic(
+                        ds, rate, opt.requests, opt.seed, scfg);
+                } else {
                     traffic = runtime::makeTraffic(kind, ds, rate,
                                                    opt.requests,
                                                    opt.seed);
+                }
                 traffic->setClassMix(mix, opt.seed);
                 if (opt.clientTimeoutMs > 0)
                     traffic->setClientTimeout(static_cast<Cycle>(
@@ -427,6 +470,7 @@ main(int argc, char **argv)
                 serving_opt.retryBackoffMs = opt.retryBackoffMs;
                 serving_opt.shedWatermark = opt.shedWatermark;
                 serving_opt.shedWaitMs = opt.shedWaitMs;
+                serving_opt.prefixShare = opt.prefixShare;
                 core::applyServingOptions(cfg, serving_opt);
                 runtime::ServingEngine engine(cfg, *traffic, *latency);
                 auto report = engine.run();
@@ -458,6 +502,30 @@ main(int argc, char **argv)
                         1e6,
                     static_cast<unsigned long long>(finishChecksum(
                         engine, report.requestsSubmitted)));
+
+                // Prefix-sharing summary whenever the feature is on:
+                // how much prefill the radix index collapsed.
+                if (opt.prefixShare) {
+                    std::printf(
+                        "    prefix: hit %.1f%% (%llu/%llu) | "
+                        "tok-dedup %llu pages-dedup %llu | cow %llu "
+                        "published %llu reclaimed %llu\n",
+                        report.prefixHitRate * 100.0,
+                        static_cast<unsigned long long>(
+                            report.prefixHits),
+                        static_cast<unsigned long long>(
+                            report.prefixAdmissions),
+                        static_cast<unsigned long long>(
+                            report.prefixTokensDeduped),
+                        static_cast<unsigned long long>(
+                            report.prefixPagesDeduped),
+                        static_cast<unsigned long long>(
+                            report.prefixCowCopies),
+                        static_cast<unsigned long long>(
+                            report.prefixPagesPublished),
+                        static_cast<unsigned long long>(
+                            report.prefixPagesReclaimed));
+                }
 
                 // Availability summary whenever the run degraded at
                 // all (faults, timeouts, retries or shedding).

@@ -177,6 +177,15 @@ mixedCompositionOf(const runtime::IterationSchedule &schedule)
     mix.decode = compositionOf(schedule);
     mix.prefill.reserve(schedule.prefill.size());
     for (const auto &slice : schedule.prefill) {
+        // Prefix-share pricing (DESIGN.md §13) needs no special case
+        // here: a prefix hit starts the cursor past the cached
+        // tokens, so startToken already encodes it. The compiler
+        // prices the slice's GEMM/attention compute over `tokens`
+        // (only the uncached suffix) while PrefillAttnWork's
+        // kvReadBytes covers the full startToken + tokens context —
+        // shared pages still stream into NPU attention, which is
+        // exactly the per-hit KV prefix *read* term: cache hits
+        // collapse compute, not bandwidth.
         mix.prefill.push_back(model::PrefillSliceSpec{
             slice.req->channel, slice.startToken, slice.tokens});
     }

@@ -78,6 +78,8 @@ applyServingOptions(runtime::ServingConfig &cfg,
     if (opt.kvScale > 1)
         scaleKvCapacity(cfg, opt.kvScale);
 
+    cfg.kv.prefixSharing = opt.prefixShare;
+
     if (!opt.fault.empty())
         cfg.fault = runtime::parseFaultSpecs(opt.fault, opt.faultSeed);
     cfg.client.maxRetries = opt.retries;

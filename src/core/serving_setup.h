@@ -114,6 +114,11 @@ struct ServingOptions
      * scenarios without changing traffic or model). */
     int kvScale = 1;
 
+    // --- prefix sharing (runtime/kv_cache.h, DESIGN.md §13) -----
+    /** Refcounted copy-on-write page sharing over the radix prefix
+     * index; off reproduces every pre-sharing trace byte-for-byte. */
+    bool prefixShare = false;
+
     // --- robustness (fault_model.h, DESIGN.md §10) --------------
     /** Fault-injection spec, "kind:startMs[:chan[:durMs[:factor]]]"
      * comma-separated (empty = no faults); parsed with

@@ -332,12 +332,38 @@ BatchScheduler::restorePreempted(IterationSchedule &out,
             if (ch == kInvalidId)
                 break;
             req->channel = ch;
-            kv_.bindSequence(req->id, ch);
-            // bindSequence takes no pages yet — the first chunk
-            // reserves at the next boundary. Count it against later
-            // restores now, or every queued restore would see the
-            // same room and pile onto one channel.
-            reserved[ch] += pages;
+            // Recompute restores walk the prefix index too: a victim
+            // whose prefix pages stayed shared (or were republished
+            // by a concurrent session) rebuilds only the unshared
+            // suffix through prefill.
+            int cached =
+                kv_.bindSequence(req->id, ch, req->promptTokens);
+            if (cached > 0)
+                req->skipCachedPrefix(cached);
+            // The bind itself can consume free capacity beyond the
+            // picked estimate: reviving cached (refcount-0) index
+            // pages takes them out of the reclaimable pool, and the
+            // first chunk's actual bill differs from the raw page
+            // math (after a prefix hit it starts mid-page; a shared
+            // partial tail adds the COW page). Re-check the channel
+            // against the boundary's outstanding reservations — if
+            // the revival ate into pages the scheduled work was
+            // promised, roll the bind back (dereference the revived
+            // pages, reset the prefill skip) and stall restores
+            // until a later boundary.
+            std::int64_t append_need =
+                kv_.pagesForAppend(req->id, admissionTokens(*req));
+            if (kv_.freePages(ch) - reserved[ch] < append_need) {
+                kv_.evictSequence(req->id);
+                req->prefilledTokens = 0;
+                req->cachedPrefixTokens = 0;
+                break;
+            }
+            // Count the chunk bill against later restores now, or
+            // every queued restore would see the same room and pile
+            // onto one channel. (The revival bill already landed in
+            // freePages itself.)
+            reserved[ch] += append_need;
         } else {
             std::int64_t pages = kv_.hostPagesOf(req->id);
             ChannelId ch =
@@ -409,16 +435,27 @@ BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
         // Candidates: residents of the channel the demander strictly
         // outranks that hold pages (evicting a page-less request
         // frees nothing; its own demands are resolved on its own
-        // turn). The policy scores them; the highest score evicts
-        // first, ties toward the most recently (re)admitted (cands
-        // follows running order: back() == youngest), which makes
-        // LifoYoungest exactly a constant score.
+        // turn). Eviction frees only the unshared suffix — pages the
+        // victim holds by reference alongside another live sequence
+        // stay resident for the other holder — so victimScore sees
+        // the *evictable* count, not the raw footprint (the
+        // refcount-aware obligation stated with §8.1's livelock rule;
+        // DESIGN.md §13). A victim whose every page is shared frees
+        // nothing immediately but stays eligible: evicting it drops
+        // the refcounts, so its co-holders' pages become evictable on
+        // the very next pick and the eviction loop still terminates
+        // (each pick shrinks the resident set). The policy scores
+        // them; the highest score evicts first, ties toward the most
+        // recently (re)admitted (cands follows running order:
+        // back() == youngest), which makes LifoYoungest exactly a
+        // constant score.
         std::vector<Request *> cands;
         for (Request *req : pool_.runningRequests()) {
             if (req->channel != ch ||
                 !policy_->outranks(demander, *req, now_))
                 continue;
-            if (kv_.pagesOf(req->id) <= 0)
+            if (kv_.evictablePagesOf(req->id) <= 0 &&
+                kv_.sharedPagesOf(req->id) <= 0)
                 continue;
             cands.push_back(req);
         }
@@ -426,10 +463,10 @@ BatchScheduler::resolveMemoryPressure(IterationSchedule &out,
             return nullptr;
         Request *victim = cands.front();
         double best = policy_->victimScore(
-            *victim, kv_.pagesOf(victim->id), now_);
+            *victim, kv_.evictablePagesOf(victim->id), now_);
         for (Request *req : cands) {
-            double score =
-                policy_->victimScore(*req, kv_.pagesOf(req->id), now_);
+            double score = policy_->victimScore(
+                *req, kv_.evictablePagesOf(req->id), now_);
             if (score >= best) {
                 victim = req;
                 best = score;
@@ -681,11 +718,23 @@ BatchScheduler::scheduleIteration(Cycle now)
         }
         req.channel = ch;
         if (lazyKvAlloc()) {
-            kv_.bindSequence(req.id, ch);
+            // The bind walks the prefix index: whole pages matching
+            // the prompt are taken by reference and prefill starts at
+            // the first uncached token (zero compute for the hit).
+            int cached =
+                kv_.bindSequence(req.id, ch, req.promptTokens);
+            if (cached > 0)
+                req.skipCachedPrefix(cached);
         } else {
-            bool ok =
-                kv_.allocateSequence(req.id, ch, req.currentSeqLen());
+            int cached = 0;
+            bool ok = kv_.allocateSequence(req.id, ch,
+                                           req.currentSeqLen(),
+                                           req.promptTokens, cached);
             NEUPIMS_ASSERT(ok, "KV allocation raced admission check");
+            // Legacy admit-means-decode models no prefill compute to
+            // skip; the page dedup above still happened.
+            if (cached > 0 && req.prefilling())
+                req.skipCachedPrefix(cached);
         }
         loads[ch] += estimator_.estimate(req.currentSeqLen());
         running.push_back(&req);

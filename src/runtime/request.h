@@ -17,6 +17,7 @@
 #define NEUPIMS_RUNTIME_REQUEST_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/log.h"
 #include "common/types.h"
@@ -79,6 +80,20 @@ struct Request
     Cycle ttftSlo = 0;
     /** Per-generated-token target in cycles (0 = none). */
     Cycle tptSlo = 0;
+
+    // --- prefix sharing (runtime/kv_cache.h, DESIGN §13) ------------
+    /** Conversation this request belongs to (-1 = standalone). Pure
+     * metadata for reports; sharing keys on promptTokens content. */
+    std::int64_t sessionId = -1;
+    /** Shared-prefix cohort (-1 = none): requests in one group carry
+     * the same synthesized system-prompt token stream. */
+    std::int64_t prefixGroup = -1;
+    /** Synthesized prompt token-ids (empty = sharing cannot apply;
+     * size == inputLength otherwise). */
+    std::vector<std::int32_t> promptTokens;
+    /** Prompt tokens served from the prefix index at the current
+     * admission/restore (prefill started past them). */
+    int cachedPrefixTokens = 0;
 
     // --- client-side robustness (runtime/fault_model.h, DESIGN §10) -
     /** Client deadline relative to this attempt's arrival (cycles;
@@ -220,6 +235,26 @@ struct Request
     {
         phase = RequestPhase::Decode;
         prefilledTokens = inputLength;
+    }
+
+    /**
+     * Start the prefill cursor past a prefix served from the KV
+     * prefix index (cache hits collapse the compute; the pages are
+     * already bound). The cap in the allocator guarantees
+     * @p cached < prefillTargetTokens(), so at least one token always
+     * prefills and the Decode transition still runs through
+     * advancePrefill. @pre prefilling() and prefilledTokens == 0
+     */
+    void
+    skipCachedPrefix(int cached)
+    {
+        NEUPIMS_ASSERT(prefilling() && prefilledTokens == 0,
+                       "prefix skip mid-prefill on request ", id);
+        NEUPIMS_ASSERT(cached >= 0 && cached < prefillTargetTokens(),
+                       "cached prefix covers the whole target on "
+                       "request ", id);
+        prefilledTokens = cached;
+        cachedPrefixTokens = cached;
     }
 
     /**

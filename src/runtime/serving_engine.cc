@@ -67,6 +67,13 @@ ServingEngine::run()
             pool_.request(id).clientTimeout = ev->clientTimeout;
             anyTimeouts = true;
         }
+        if (ev->sessionId >= 0 || ev->prefixGroup >= 0 ||
+            !ev->promptTokens.empty()) {
+            Request &req = pool_.request(id);
+            req.sessionId = ev->sessionId;
+            req.prefixGroup = ev->prefixGroup;
+            req.promptTokens = std::move(ev->promptTokens);
+        }
         ++report.requestsSubmitted;
     }
 
@@ -106,6 +113,12 @@ ServingEngine::run()
         fresh.clientTimeout = req.clientTimeout;
         fresh.attempt = req.attempt + 1;
         fresh.retryOf = abandoned;
+        // A retry re-sends the same conversation turn: identical
+        // prompt content, so its prefix can hit pages the abandoned
+        // attempt (or its cohort) published.
+        fresh.sessionId = req.sessionId;
+        fresh.prefixGroup = req.prefixGroup;
+        fresh.promptTokens = req.promptTokens;
         ++report.requestsSubmitted;
         ++retriesScheduledNow;
     };
@@ -507,6 +520,18 @@ ServingEngine::run()
         report.classes.push_back(std::move(cls.rep));
     }
     report.memSched = latency_.memSchedSummary();
+
+    const PrefixShareStats &px = kv_.prefixStats();
+    report.prefixAdmissions = px.admissions;
+    report.prefixHits = px.hits;
+    report.prefixTokensDeduped = px.tokensDeduped;
+    report.prefixPagesDeduped = px.pagesDeduped;
+    report.prefixCowCopies = px.cowCopies;
+    report.prefixPagesPublished = px.pagesPublished;
+    report.prefixPagesReclaimed = px.pagesReclaimed;
+    if (px.admissions > 0)
+        report.prefixHitRate = static_cast<double>(px.hits) /
+                               static_cast<double>(px.admissions);
     return report;
 }
 

@@ -243,6 +243,16 @@ struct ServingReport
     int requestsInSlo = 0;
     std::uint64_t goodputTokens = 0;
 
+    // --- prefix sharing (all 0 with kv.prefixSharing off; DESIGN §13)
+    std::uint64_t prefixAdmissions = 0; ///< index walks at admission
+    std::uint64_t prefixHits = 0;       ///< admissions with >0 cached
+    std::uint64_t prefixTokensDeduped = 0; ///< prefill tokens skipped
+    std::uint64_t prefixPagesDeduped = 0;  ///< pages bound by reference
+    std::uint64_t prefixCowCopies = 0;     ///< shared-tail copy-on-writes
+    std::uint64_t prefixPagesPublished = 0; ///< private pages indexed
+    std::uint64_t prefixPagesReclaimed = 0; ///< cached pages repurposed
+    double prefixHitRate = 0.0; ///< prefixHits / prefixAdmissions
+
     /** SLO-attaining generation throughput over the makespan. */
     double goodputTokensPerSecond() const;
 

@@ -25,7 +25,66 @@ ratePeriodCycles(double requests_per_second)
     return kCyclesPerSecond / requests_per_second;
 }
 
+/** splitmix64 finalizer: the bijective mixer behind the token-id
+ * synthesis (common/rng.h uses the same constants for seeding). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace
+
+// --- deterministic prompt token-id synthesis -------------------------------
+
+std::int32_t
+promptTokenAt(std::uint64_t streamId, int position)
+{
+    NEUPIMS_ASSERT(position >= 0, "token position must be >= 0");
+    // Pure hash of (stream, position): no RNG draws, so prompt
+    // content never perturbs an arrival process's byte-exact trace.
+    std::uint64_t z = mix64(
+        streamId +
+        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(position) + 1));
+    return static_cast<std::int32_t>(z % 50257ULL); // GPT vocabulary
+}
+
+std::uint64_t
+sessionTokenStream(std::int64_t sessionId)
+{
+    return mix64(0x5e5510a1ULL ^
+                 (static_cast<std::uint64_t>(sessionId) *
+                  0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t
+groupTokenStream(std::int64_t prefixGroup)
+{
+    return mix64(0x96f19a0bULL ^
+                 (static_cast<std::uint64_t>(prefixGroup) *
+                  0xd1b54a32d192ed03ULL));
+}
+
+std::vector<std::int32_t>
+synthesizePrompt(std::int64_t sessionId, std::int64_t prefixGroup,
+                 int groupTokens, int length)
+{
+    NEUPIMS_ASSERT(length >= 1, "prompt length must be >= 1");
+    std::vector<std::int32_t> tokens;
+    tokens.reserve(static_cast<std::size_t>(length));
+    int shared = std::min(groupTokens, length);
+    std::uint64_t group = groupTokenStream(prefixGroup);
+    std::uint64_t session = sessionTokenStream(sessionId);
+    for (int p = 0; p < shared; ++p)
+        tokens.push_back(promptTokenAt(group, p));
+    // Session-stream positions continue the absolute index, so every
+    // prompt of one session nests inside its longer successors.
+    for (int p = shared; p < length; ++p)
+        tokens.push_back(promptTokenAt(session, p));
+    return tokens;
+}
 
 std::vector<ArrivalEvent>
 TrafficModel::drain()
@@ -279,9 +338,10 @@ ReplayTraffic::fromCsv(std::istream &in, std::string name)
                 break;
             pos = comma + 1;
         }
-        if (fields.size() != 3)
-            fatal(name, ":", lineno, ": expected 3 fields "
-                  "(arrival_us,input_tokens,output_tokens), got ",
+        if (fields.size() < 3 || fields.size() > 5)
+            fatal(name, ":", lineno, ": expected 3 to 5 fields "
+                  "(arrival_us,input_tokens,output_tokens"
+                  "[,session_id[,prefix_group]]), got ",
                   fields.size(), ": '", line, "'");
         double arrival_us =
             parseCsvField(fields[0], name, lineno, "arrival_us");
@@ -303,12 +363,48 @@ ReplayTraffic::fromCsv(std::istream &in, std::string name)
             fatal(name, ":", lineno, ": field 'output_tokens' must "
                   "be a positive integer, got '", trimField(fields[2]),
                   "'");
+        // Optional prefix-sharing columns: integers >= -1, where -1
+        // means "none" (what writeCsv emits for untagged rows in an
+        // extended trace).
+        std::int64_t session_id = -1;
+        std::int64_t prefix_group = -1;
+        if (fields.size() >= 4) {
+            double v =
+                parseCsvField(fields[3], name, lineno, "session_id");
+            session_id = static_cast<std::int64_t>(v);
+            if (v != static_cast<double>(session_id) || session_id < -1)
+                fatal(name, ":", lineno, ": field 'session_id' must "
+                      "be an integer >= -1, got '",
+                      trimField(fields[3]), "'");
+        }
+        if (fields.size() >= 5) {
+            double v =
+                parseCsvField(fields[4], name, lineno, "prefix_group");
+            prefix_group = static_cast<std::int64_t>(v);
+            if (v != static_cast<double>(prefix_group) ||
+                prefix_group < -1)
+                fatal(name, ":", lineno, ": field 'prefix_group' must "
+                      "be an integer >= -1, got '",
+                      trimField(fields[4]), "'");
+        }
         // llround, not a truncating cast: 1.001 us is 1000.999...
         // after the multiply and must parse as cycle 1001 for the
         // writeCsv round trip to be lossless.
-        events.push_back(ArrivalEvent{
+        ArrivalEvent ev{
             static_cast<Cycle>(std::llround(arrival_us * 1e3)), input,
-            output});
+            output};
+        ev.sessionId = session_id;
+        ev.prefixGroup = prefix_group;
+        // Synthesize prompt content from the tags: a grouped row
+        // shares its whole prefix with its cohort, a session-only row
+        // shares nested prefixes with its conversation's other turns.
+        if (prefix_group >= 0)
+            ev.promptTokens =
+                synthesizePrompt(session_id, prefix_group, input, input);
+        else if (session_id >= 0)
+            ev.promptTokens =
+                synthesizePrompt(session_id, -1, 0, input);
+        events.push_back(std::move(ev));
     }
     return std::make_unique<ReplayTraffic>(std::move(name),
                                            std::move(events));
@@ -326,14 +422,30 @@ ReplayTraffic::fromCsvFile(const std::string &path)
 void
 ReplayTraffic::writeCsv(std::ostream &out) const
 {
-    out << "arrival_us,input_tokens,output_tokens\n";
-    char row[96];
+    // Emit the prefix-sharing columns only when some event carries a
+    // tag — plain traces keep the original 3-column format so every
+    // pre-existing fixture round-trips byte-identically.
+    bool extended = false;
+    for (const auto &ev : events_)
+        extended |= ev.sessionId >= 0 || ev.prefixGroup >= 0;
+    out << "arrival_us,input_tokens,output_tokens";
+    if (extended)
+        out << ",session_id,prefix_group";
+    out << "\n";
+    char row[128];
     for (const auto &ev : events_) {
         // Three decimals of a microsecond = exactly one cycle (ns),
         // so a writeCsv -> fromCsv round trip is lossless.
-        std::snprintf(row, sizeof(row), "%.3f,%d,%d\n",
-                      static_cast<double>(ev.time) * 1e-3,
-                      ev.inputLength, ev.outputLength);
+        if (extended)
+            std::snprintf(row, sizeof(row), "%.3f,%d,%d,%lld,%lld\n",
+                          static_cast<double>(ev.time) * 1e-3,
+                          ev.inputLength, ev.outputLength,
+                          static_cast<long long>(ev.sessionId),
+                          static_cast<long long>(ev.prefixGroup));
+        else
+            std::snprintf(row, sizeof(row), "%.3f,%d,%d\n",
+                          static_cast<double>(ev.time) * 1e-3,
+                          ev.inputLength, ev.outputLength);
         out << row;
     }
 }
@@ -346,6 +458,90 @@ ReplayTraffic::next()
     ArrivalEvent ev = events_[cursor_++];
     stampClass(ev);
     return ev;
+}
+
+// --- Session (conversational) ----------------------------------------------
+
+std::unique_ptr<TrafficModel>
+makeSessionTraffic(const DatasetConfig &dataset,
+                   double requests_per_second, int num_requests,
+                   std::uint64_t seed, const SessionTrafficConfig &cfg)
+{
+    NEUPIMS_ASSERT(cfg.hotFraction >= 0.0 && cfg.hotFraction <= 1.0,
+                   "hot fraction must be in [0, 1]");
+    NEUPIMS_ASSERT(cfg.systemPromptTokens >= 0,
+                   "system prompt length must be >= 0");
+    NEUPIMS_ASSERT(cfg.meanTurns >= 1.0,
+                   "mean turns must be >= 1");
+    NEUPIMS_ASSERT(cfg.maxTurns >= 1, "max turns must be >= 1");
+    NEUPIMS_ASSERT(cfg.thinkMs >= 0.0, "think time must be >= 0");
+    NEUPIMS_ASSERT(cfg.serviceMsPerToken >= 0.0,
+                   "service proxy must be >= 0");
+    WorkloadGenerator gen(dataset, seed);
+    Rng rng(seed ^ 0x5e5510f7ULL);
+    // Sessions (not requests) arrive Poisson; the per-request
+    // long-run rate matches the other models at the same nominal
+    // requests_per_second because each session carries meanTurns
+    // requests on average.
+    const double cyclesPerSession =
+        ratePeriodCycles(requests_per_second) * cfg.meanTurns;
+    // 1 + Geometric(p) with continue probability 1 - 1/meanTurns has
+    // mean meanTurns before the maxTurns cap.
+    const double continueProb = 1.0 - 1.0 / cfg.meanTurns;
+    const double thinkCycles = cfg.thinkMs * 1e6; // ms at 1 GHz
+    std::vector<ArrivalEvent> events;
+    double sessionClock = 0.0;
+    std::int64_t session_id = 0;
+    while (static_cast<int>(events.size()) < num_requests) {
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        sessionClock += -std::log(u) * cyclesPerSession;
+        const bool hot = rng.uniform() < cfg.hotFraction;
+        const std::int64_t group = hot ? 0 : -1;
+        const int shared = hot ? cfg.systemPromptTokens : 0;
+        double t = sessionClock;
+        int promptLen = 0;
+        int prevOutput = 0;
+        for (int turn = 0; turn < cfg.maxTurns; ++turn) {
+            auto s = gen.sample();
+            // Turn t's prompt is turn t-1's prompt plus its response
+            // plus the fresh user message; the opening turn prepends
+            // the (possibly shared) system prompt.
+            promptLen = turn == 0 ? shared + s.inputLength
+                                  : promptLen + prevOutput +
+                                        s.inputLength;
+            promptLen = std::min(promptLen, dataset.maxLength);
+            ArrivalEvent ev{static_cast<Cycle>(t), promptLen,
+                            s.outputLength};
+            ev.sessionId = session_id;
+            ev.prefixGroup = group;
+            ev.promptTokens =
+                synthesizePrompt(session_id, group, shared, promptLen);
+            events.push_back(std::move(ev));
+            prevOutput = s.outputLength;
+            if (turn + 1 >= cfg.maxTurns ||
+                rng.uniform() >= continueProb)
+                break;
+            // The next turn follows the previous turn's response (the
+            // serviceMsPerToken open-loop proxy for its decode time)
+            // plus the client's think time.
+            double g = rng.uniform();
+            if (g <= 0.0)
+                g = 0x1.0p-53;
+            t += static_cast<double>(prevOutput) *
+                     cfg.serviceMsPerToken * 1e6 -
+                 std::log(g) * thinkCycles;
+        }
+        ++session_id;
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ArrivalEvent &a, const ArrivalEvent &b) {
+                         return a.time < b.time;
+                     });
+    events.resize(static_cast<std::size_t>(std::max(0, num_requests)));
+    return std::make_unique<ReplayTraffic>("session",
+                                           std::move(events));
 }
 
 // --- Factory ---------------------------------------------------------------
@@ -368,8 +564,12 @@ makeTraffic(const std::string &kind, const DatasetConfig &dataset,
         return ReplayTraffic::fixedRate(dataset, requests_per_second,
                                         num_requests, seed);
     }
+    if (kind == "session") {
+        return makeSessionTraffic(dataset, requests_per_second,
+                                  num_requests, seed);
+    }
     fatal("unknown traffic model '", kind,
-          "' (expected poisson|bursty|replay)");
+          "' (expected poisson|bursty|replay|session)");
 }
 
 const std::vector<std::string> &

@@ -15,7 +15,19 @@
  *    tail than Poisson); shape 1 degenerates to Poisson.
  *  - ReplayTraffic: replays an explicit arrival list — either a
  *    fixed-rate synthetic trace or a CSV trace
- *    (`arrival_us,input_tokens,output_tokens` rows).
+ *    (`arrival_us,input_tokens,output_tokens` rows, optionally
+ *    extended with `session_id,prefix_group` columns).
+ *  - Session traffic (makeSessionTraffic): multi-turn conversations —
+ *    Poisson session arrivals, geometric turn counts, exponential
+ *    think-time gaps between turns, and a hot fraction of sessions
+ *    opening with a shared system prompt. Drives the KV prefix index
+ *    (runtime/kv_cache.h, DESIGN §13).
+ *
+ * Prompt *content* is synthesized as deterministic token-ids: token p
+ * of a stream is a pure hash of (stream id, p) — no RNG draws — so
+ * two requests in one session (or one prefix group) share a
+ * byte-identical prefix without any cross-request coupling in the
+ * arrival-process randomness.
  *
  * All models are deterministic under a fixed seed (common/rng.h):
  * identical builds replay identical traces. The gap sampling uses
@@ -27,6 +39,7 @@
 #ifndef NEUPIMS_RUNTIME_TRAFFIC_H_
 #define NEUPIMS_RUNTIME_TRAFFIC_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -52,6 +65,14 @@ struct ArrivalEvent
     /** Client deadline relative to arrival (cycles; 0 = infinitely
      * patient — the engine never aborts). */
     Cycle clientTimeout = 0;
+    // --- prefix sharing (runtime/kv_cache.h, DESIGN §13) ------------
+    /** Conversation this arrival belongs to (-1 = standalone). */
+    std::int64_t sessionId = -1;
+    /** Shared-prefix cohort (-1 = none). */
+    std::int64_t prefixGroup = -1;
+    /** Synthesized prompt token-ids (empty = content-less arrival;
+     * size == inputLength otherwise). */
+    std::vector<std::int32_t> promptTokens;
 };
 
 /**
@@ -186,13 +207,24 @@ class ReplayTraffic : public TrafficModel
      * Parse a CSV trace: one `arrival_us,input_tokens,output_tokens`
      * row per request; blank lines and `#` comments are skipped, as
      * is a leading `arrival_us,...` header. fatal() on malformed rows.
+     *
+     * Rows may carry two optional trailing columns, `session_id` and
+     * `prefix_group` (integers >= -1, -1 = none). A row with a group
+     * synthesizes its prompt tokens from the group stream (all rows
+     * in one group share their full common-length prefix); a row with
+     * only a session id uses the session stream (turns of one
+     * conversation share nested prefixes); a bare 3-column row stays
+     * content-less — existing fixtures parse byte-identically.
      */
     static std::unique_ptr<ReplayTraffic> fromCsv(std::istream &in,
                                                   std::string name);
     static std::unique_ptr<ReplayTraffic>
     fromCsvFile(const std::string &path);
 
-    /** Write the trace back out in the CSV format fromCsv() parses. */
+    /** Write the trace back out in the CSV format fromCsv() parses.
+     * The `session_id,prefix_group` columns are emitted only when
+     * some event carries one, so plain traces round-trip
+     * byte-identically. */
     void writeCsv(std::ostream &out) const;
 
     const std::string &name() const override { return name_; }
@@ -206,18 +238,92 @@ class ReplayTraffic : public TrafficModel
     std::size_t cursor_ = 0;
 };
 
+// --- deterministic prompt token-id synthesis -------------------------------
+
 /**
- * Build one of the three standard traffic models by name ("poisson",
- * "bursty", "replay"); fatal() on unknown names. The replay model is
- * the synthetic fixed-rate trace; CSV replay uses
- * ReplayTraffic::fromCsvFile directly.
+ * Token id at @p position of token stream @p streamId: a pure
+ * splitmix64-style hash of the pair folded into a GPT-vocabulary
+ * range — no RNG state, so any two holders of the same stream id see
+ * byte-identical content at every position.
+ */
+std::int32_t promptTokenAt(std::uint64_t streamId, int position);
+
+/** Private token stream of conversation @p sessionId. */
+std::uint64_t sessionTokenStream(std::int64_t sessionId);
+
+/** Shared token stream of prefix cohort @p prefixGroup. */
+std::uint64_t groupTokenStream(std::int64_t prefixGroup);
+
+/**
+ * Synthesize a @p length -token prompt: the first
+ * min(@p groupTokens, @p length) positions come from the group
+ * stream of @p prefixGroup (the shared system prompt), the rest from
+ * the session stream of @p sessionId. Because positions are stable,
+ * a longer prompt from the same streams extends a shorter one — the
+ * multi-turn "previous prompt + previous output + new user tokens"
+ * structure falls out of length bookkeeping alone.
+ */
+std::vector<std::int32_t> synthesizePrompt(std::int64_t sessionId,
+                                           std::int64_t prefixGroup,
+                                           int groupTokens, int length);
+
+// --- session-aware conversational traffic ----------------------------------
+
+/** Shape of the conversational workload makeSessionTraffic builds. */
+struct SessionTrafficConfig
+{
+    /** Fraction of sessions opening with the shared system prompt
+     * (prefix group 0); the rest are cold standalone conversations. */
+    double hotFraction = 0.75;
+    /** Length of the shared system prompt in tokens. */
+    int systemPromptTokens = 192;
+    /** Mean conversation turns per session (geometric, capped). */
+    double meanTurns = 3.0;
+    int maxTurns = 8;
+    /** Mean client think time between turns (exponential gaps). */
+    double thinkMs = 150.0;
+    /** Open-loop proxy for the previous turn's service time: the
+     * client sends turn t only after reading turn t-1's response, so
+     * the inter-turn gap adds prevOutput * serviceMsPerToken on top
+     * of the think time. Without it, at load a follow-up turn arrives
+     * while its predecessor is still queued — before the predecessor
+     * published any prefix pages — and the session's nested-prefix
+     * hits never materialize. ~12 ms/token tracks the decode TBT the
+     * serving sweeps measure. 0 disables the proxy. */
+    double serviceMsPerToken = 12.0;
+};
+
+/**
+ * Conversational session traffic: sessions arrive Poisson at
+ * @p requests_per_second / meanTurns (so the long-run *request* rate
+ * matches the other models at the same nominal rate), each runs
+ * 1 + Geometric turns capped at maxTurns with exponential think-time
+ * gaps, and turn t's prompt is turn t-1's prompt plus its output plus
+ * fresh user tokens (capped at the dataset max length). A hotFraction
+ * of sessions prepend the shared system prompt. Exactly
+ * @p num_requests arrivals are kept (earliest first). The result is a
+ * pre-generated replay named "session".
+ */
+std::unique_ptr<TrafficModel>
+makeSessionTraffic(const DatasetConfig &dataset,
+                   double requests_per_second, int num_requests,
+                   std::uint64_t seed,
+                   const SessionTrafficConfig &cfg = {});
+
+/**
+ * Build a traffic model by name ("poisson", "bursty", "replay",
+ * "session"); fatal() on unknown names. The replay model is the
+ * synthetic fixed-rate trace; CSV replay uses
+ * ReplayTraffic::fromCsvFile directly. "session" uses the default
+ * SessionTrafficConfig; makeSessionTraffic takes a custom one.
  */
 std::unique_ptr<TrafficModel>
 makeTraffic(const std::string &kind, const DatasetConfig &dataset,
             double requests_per_second, int num_requests,
             std::uint64_t seed);
 
-/** The three standard traffic-model names, sweep order. */
+/** The three standard traffic-model names, sweep order ("session" is
+ * opt-in — adding it here would grow every existing sweep). */
 const std::vector<std::string> &standardTrafficKinds();
 
 } // namespace neupims::runtime

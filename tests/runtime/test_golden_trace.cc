@@ -639,5 +639,136 @@ TEST(GoldenServingTrace, FaultChannelFailureMatchesGolden)
         "serving_fault_fail_sbi_poisson_sharegpt.txt", out);
 }
 
+
+// --- shared-prefix KV-cache goldens ----------------------------------------
+
+/**
+ * Prefix-sharing-off byte-identity: running the canonical phase-model
+ * configuration through the full ServingOptions wiring with
+ * prefixShare explicitly false must reproduce the canonical golden
+ * byte-for-byte — the refcounted COW page index (DESIGN.md §13) is
+ * invisible until it is switched on. This is the semantic anchor of
+ * the sharing-off path.
+ */
+TEST(GoldenServingTrace, ExplicitPrefixShareOffMatchesExistingGolden)
+{
+    GoldenServingCase c{"serving_neupims_sbi_poisson_sharegpt.txt",
+                        "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0,
+                        64};
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::ServingOptions opt;
+    opt.prefixShare = false;
+    core::applyServingOptions(cfg, opt);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += phaseTraceRows(engine);
+    out += summaryLine(report);
+    // Compare only (never regenerate through this test): the file is
+    // owned by the canonical phase-model case above.
+    EXPECT_EQ(out, testing::readGolden(c.file));
+    EXPECT_EQ(report.prefixAdmissions, 0u);
+    EXPECT_EQ(report.prefixPagesDeduped, 0u);
+}
+
+/**
+ * Prefix-sharing-on with content-less traffic is equally invisible:
+ * Poisson arrivals carry no prompt tokens, so nothing can be
+ * published or matched, and the schedule must again be byte-identical
+ * to the canonical golden — sharing only acts when arrivals carry
+ * synthesized content (session traffic or tagged CSV replays).
+ */
+TEST(GoldenServingTrace, PrefixShareOnPromptlessMatchesExistingGolden)
+{
+    GoldenServingCase c{"serving_neupims_sbi_poisson_sharegpt.txt",
+                        "NeuPIMs+SBI", "poisson", "ShareGPT", 180.0,
+                        64};
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    auto traffic =
+        runtime::makeTraffic(c.traffic, ds, c.rate, c.requests, 7);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::ServingOptions opt;
+    opt.prefixShare = true;
+    core::applyServingOptions(cfg, opt);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += phaseTraceRows(engine);
+    out += summaryLine(report);
+    EXPECT_EQ(out, testing::readGolden(c.file));
+    EXPECT_EQ(report.prefixHits, 0u);
+    EXPECT_EQ(report.prefixPagesPublished, 0u);
+}
+
+/**
+ * Session-traffic golden with prefix sharing on: multi-turn
+ * conversations over the shared system prompt on the NeuPIMs+SBI
+ * backend, pinned iteration by iteration plus a prefix footer (hit
+ * rate, deduplicated tokens/pages, COW copies, publications,
+ * reclaims). Any change to the radix index walk, the COW rule, the
+ * session token synthesis, or the skipped-prefill pricing moves this
+ * trace.
+ */
+TEST(GoldenServingTrace, SessionPrefixShareMatchesGolden)
+{
+    GoldenServingCase c{"serving_prefix_sbi_session_sharegpt.txt",
+                        "NeuPIMs+SBI", "session", "ShareGPT", 360.0,
+                        64};
+    auto llm = model::gpt3_13b();
+    const auto &backend = core::servingBackendByName(c.backend);
+    auto ds = runtime::shareGptDataset();
+    runtime::SessionTrafficConfig scfg;
+    scfg.hotFraction = 1.0; // every session opens the system prompt
+    scfg.systemPromptTokens = 512;
+    scfg.thinkMs = 40.0; // tight turns: hits land inside 400 iters
+    auto traffic = runtime::makeSessionTraffic(ds, c.rate, c.requests,
+                                               7, scfg);
+    auto latency = core::makeIterationModel(backend.device, llm);
+    auto cfg = core::servingConfigFor(backend.device, llm);
+    core::ServingOptions opt;
+    opt.prefixShare = true;
+    core::applyServingOptions(cfg, opt);
+    cfg.maxIterations = 400;
+    runtime::ServingEngine engine(cfg, *traffic, *latency);
+    auto report = engine.run();
+
+    std::string out = caseHeader(c);
+    out += "# prefix-share=on traffic=session hot=1 sys=512 "
+           "think=40ms\n";
+    out += phaseTraceRows(engine);
+    out += summaryLine(report);
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "# prefix admissions=%llu hits=%llu hitRate=%.4f "
+        "tokDeduped=%llu pagesDeduped=%llu cow=%llu published=%llu "
+        "reclaimed=%llu\n",
+        static_cast<unsigned long long>(report.prefixAdmissions),
+        static_cast<unsigned long long>(report.prefixHits),
+        report.prefixHitRate,
+        static_cast<unsigned long long>(report.prefixTokensDeduped),
+        static_cast<unsigned long long>(report.prefixPagesDeduped),
+        static_cast<unsigned long long>(report.prefixCowCopies),
+        static_cast<unsigned long long>(report.prefixPagesPublished),
+        static_cast<unsigned long long>(report.prefixPagesReclaimed));
+    out += line;
+    EXPECT_GT(report.prefixHits, 0u);
+    EXPECT_GT(report.prefixPagesDeduped, 0u);
+    testing::compareOrUpdateGolden(c.file, out);
+}
+
 } // namespace
 } // namespace neupims
