@@ -30,6 +30,14 @@ class Log
     [[noreturn]] static void fatal(const std::string &msg);
     [[noreturn]] static void panic(const std::string &msg);
 
+    /**
+     * Program output (bench tables, report rows): msg plus a newline
+     * to stdout, unconditionally — not subject to the log level, which
+     * only gates status chatter. The single designated stdout writer
+     * for src/ libraries (sim-lint's `logging` rule bans the rest).
+     */
+    static void output(const std::string &msg);
+
   private:
     static Level level_;
 };
@@ -70,6 +78,13 @@ template <typename... Args>
 panic(Args &&...args)
 {
     Log::panic(logMsg(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+output(Args &&...args)
+{
+    Log::output(logMsg(std::forward<Args>(args)...));
 }
 
 /** panic() unless the invariant holds. Enabled in all build types. */

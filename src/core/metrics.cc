@@ -22,7 +22,7 @@ TableWriter::printHeader() const
         oss.width(width_);
         oss << c;
     }
-    std::printf("%s\n", oss.str().c_str());
+    output(oss.str());
     printRule();
 }
 
@@ -34,7 +34,7 @@ TableWriter::printRow(const std::vector<std::string> &cells) const
         oss.width(width_);
         oss << c;
     }
-    std::printf("%s\n", oss.str().c_str());
+    output(oss.str());
 }
 
 void
@@ -42,7 +42,7 @@ TableWriter::printRule() const
 {
     std::string rule(columns_.size() * static_cast<std::size_t>(width_),
                      '-');
-    std::printf("%s\n", rule.c_str());
+    output(rule);
 }
 
 std::string

@@ -62,6 +62,9 @@ PagedKvCache::failChannel(ChannelId channel)
     NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
     NEUPIMS_ASSERT(!failed_[channel],
                    "channel ", channel, " already failed");
+    // Pure per-entry assertion: no mutation, no early exit, so the
+    // visit order cannot affect any simulation decision.
+    // NOLINT-SIM-NEXTLINE(unordered-iter): order-independent per-entry check
     for (const auto &entry : sequences_) {
         NEUPIMS_ASSERT(entry.second.swapped ||
                            entry.second.channel != channel,
@@ -320,7 +323,11 @@ PagedKvCache::allocateSequence(RequestId id, ChannelId channel,
     } else {
         freePages_[channel] -= need;
     }
-    sequences_[id] = Sequence{channel, tokens, need};
+    Sequence seq;
+    seq.channel = channel;
+    seq.tokens = tokens;
+    seq.pages = need;
+    sequences_[id] = std::move(seq);
     return true;
 }
 
@@ -354,7 +361,10 @@ PagedKvCache::allocateSequence(RequestId id, ChannelId channel,
         incref(n);
     for (std::int64_t i = 0; i < need; ++i)
         takePage(channel);
-    Sequence seq{channel, tokens, need};
+    Sequence seq;
+    seq.channel = channel;
+    seq.tokens = tokens;
+    seq.pages = need;
     seq.prompt = promptTokens;
     seq.sharedNodes = std::move(matched);
     cachedTokens = static_cast<int>(m) * P;
@@ -377,7 +387,9 @@ PagedKvCache::bindSequence(RequestId id, ChannelId channel)
     NEUPIMS_ASSERT(channel >= 0 && channel < cfg_.channels);
     NEUPIMS_ASSERT(channelOnline(channel),
                    "binding sequence to offline channel ", channel);
-    sequences_[id] = Sequence{channel, 0, 0, false};
+    Sequence seq;
+    seq.channel = channel;
+    sequences_[id] = std::move(seq);
 }
 
 int

@@ -176,8 +176,10 @@ PoissonTraffic::next()
         u = 0x1.0p-53;
     now_ += -std::log(u) * cyclesPerArrival_;
     auto s = gen_.sample();
-    ArrivalEvent ev{static_cast<Cycle>(now_), s.inputLength,
-                    s.outputLength};
+    ArrivalEvent ev;
+    ev.time = static_cast<Cycle>(now_);
+    ev.inputLength = s.inputLength;
+    ev.outputLength = s.outputLength;
     stampClass(ev);
     return ev;
 }
@@ -237,8 +239,10 @@ BurstyTraffic::next()
     // while shape < 1 piles probability mass near zero (bursts).
     now_ += sampleGamma() * (cyclesPerArrival_ / shape_);
     auto s = gen_.sample();
-    ArrivalEvent ev{static_cast<Cycle>(now_), s.inputLength,
-                    s.outputLength};
+    ArrivalEvent ev;
+    ev.time = static_cast<Cycle>(now_);
+    ev.inputLength = s.inputLength;
+    ev.outputLength = s.outputLength;
     stampClass(ev);
     return ev;
 }
@@ -266,9 +270,11 @@ ReplayTraffic::fixedRate(const DatasetConfig &dataset,
     events.reserve(static_cast<std::size_t>(std::max(0, num_requests)));
     for (int i = 0; i < num_requests; ++i) {
         auto s = gen.sample();
-        events.push_back(ArrivalEvent{
-            static_cast<Cycle>(period * static_cast<double>(i)),
-            s.inputLength, s.outputLength});
+        ArrivalEvent ev;
+        ev.time = static_cast<Cycle>(period * static_cast<double>(i));
+        ev.inputLength = s.inputLength;
+        ev.outputLength = s.outputLength;
+        events.push_back(ev);
     }
     return std::make_unique<ReplayTraffic>("replay", std::move(events));
 }
@@ -390,9 +396,10 @@ ReplayTraffic::fromCsv(std::istream &in, std::string name)
         // llround, not a truncating cast: 1.001 us is 1000.999...
         // after the multiply and must parse as cycle 1001 for the
         // writeCsv round trip to be lossless.
-        ArrivalEvent ev{
-            static_cast<Cycle>(std::llround(arrival_us * 1e3)), input,
-            output};
+        ArrivalEvent ev;
+        ev.time = static_cast<Cycle>(std::llround(arrival_us * 1e3));
+        ev.inputLength = input;
+        ev.outputLength = output;
         ev.sessionId = session_id;
         ev.prefixGroup = prefix_group;
         // Synthesize prompt content from the tags: a grouped row
@@ -512,8 +519,10 @@ makeSessionTraffic(const DatasetConfig &dataset,
                                   : promptLen + prevOutput +
                                         s.inputLength;
             promptLen = std::min(promptLen, dataset.maxLength);
-            ArrivalEvent ev{static_cast<Cycle>(t), promptLen,
-                            s.outputLength};
+            ArrivalEvent ev;
+            ev.time = static_cast<Cycle>(t);
+            ev.inputLength = promptLen;
+            ev.outputLength = s.outputLength;
             ev.sessionId = session_id;
             ev.prefixGroup = group;
             ev.promptTokens =

@@ -51,8 +51,9 @@ TEST(Roofline, SummarizationIsComputeBound)
     MachineSpec machine;
     auto pts = rooflinePoints(model::gpt3_175b(), machine, 8, 376);
     for (const auto &p : pts) {
-        if (p.phase == model::Phase::Summarization)
+        if (p.phase == model::Phase::Summarization) {
             EXPECT_FALSE(p.memoryBound) << p.operatorGroup;
+        }
     }
 }
 

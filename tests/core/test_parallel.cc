@@ -361,8 +361,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ModeParam{"SerialNpuPim", &makeSerialNpuPim},
                       ModeParam{"NeuPimsSerial", &makeNeuPimsSerial},
                       ModeParam{"NeuPimsSbi", &makeNeuPimsSbi}),
-    [](const ::testing::TestParamInfo<ModeParam> &info) {
-        return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<ModeParam> &pinfo) {
+        return std::string(pinfo.param.name);
     });
 
 // --- serving-level differential with a fault schedule -----------------------

@@ -212,8 +212,8 @@ INSTANTIATE_TEST_SUITE_P(
                           "NPU+PIM", "replay", "Alpaca", 800.0, 64},
         GoldenServingCase{"serving_npuonly_poisson_alpaca.txt",
                           "NPU-only", "poisson", "Alpaca", 400.0, 48}),
-    [](const ::testing::TestParamInfo<GoldenServingCase> &info) {
-        std::string name = info.param.file;
+    [](const ::testing::TestParamInfo<GoldenServingCase> &pinfo) {
+        std::string name = pinfo.param.file;
         name = name.substr(0, name.size() - 4); // drop .txt
         for (char &ch : name) {
             if (ch == '.' || ch == '+' || ch == '-')

@@ -380,8 +380,15 @@ TEST(PolicyProperties, UnplaceablePickIsDroppedNotTheHead)
     // must be the one dropped — dropping the head instead would
     // reject a servable request while the oversized one stays queued.
     std::vector<runtime::ArrivalEvent> events;
-    events.push_back(runtime::ArrivalEvent{0, 16, 4, 0, 0, 0});
-    events.push_back(runtime::ArrivalEvent{0, 4096, 4, 1, 0, 0});
+    runtime::ArrivalEvent low;
+    low.inputLength = 16;
+    low.outputLength = 4;
+    events.push_back(std::move(low));
+    runtime::ArrivalEvent high;
+    high.inputLength = 4096;
+    high.outputLength = 4;
+    high.priorityClass = 1;
+    events.push_back(std::move(high));
     runtime::ReplayTraffic traffic("unplaceable", std::move(events));
     UnitLatencyModel latency;
     runtime::ServingEngine engine(cfg, traffic, latency);

@@ -158,9 +158,10 @@ runTrial(std::uint64_t seed, PreemptMode mode)
             // Recompute victims hold no device pages; swap victims
             // moved theirs to the host tier.
             EXPECT_EQ(kv.pagesOf(victim->id), 0) << "seed " << seed;
-            if (mode == PreemptMode::Swap)
+            if (mode == PreemptMode::Swap) {
                 EXPECT_TRUE(kv.isSwappedOut(victim->id))
                     << "seed " << seed;
+            }
         }
         // Token conservation into the parked state: the generated
         // count survives eviction (recompute only resets the prefill
@@ -215,18 +216,18 @@ runTrial(std::uint64_t seed, PreemptMode mode)
         // restores and swap-ins consumed; page population is
         // conserved overall (allocation happens at completeIteration,
         // never inside scheduleIteration).
-        std::int64_t freed_or_swapped = 0;
-        for (const Request *victim : schedule.preemptedNow)
-            freed_or_swapped += 1; // strictly positive effect below
-        (void)freed_or_swapped;
+        std::int64_t freed_or_swapped =
+            static_cast<std::int64_t>(schedule.preemptedNow.size());
+        (void)freed_or_swapped; // strictly positive effect below
         std::int64_t free_after = totalFreePages(kv, t);
         std::int64_t host_after = kv.hostPagesUsed();
         if (mode == PreemptMode::Recompute) {
             EXPECT_EQ(host_after, 0) << "seed " << seed;
             if (!schedule.preemptedNow.empty() &&
-                schedule.restoredNow.empty())
+                schedule.restoredNow.empty()) {
                 EXPECT_GT(free_after, free_before)
                     << "eviction freed nothing, seed " << seed;
+            }
         }
         // Device + host page population is conserved at boundaries.
         EXPECT_EQ(free_after + (device_pages - free_after),
@@ -241,11 +242,12 @@ runTrial(std::uint64_t seed, PreemptMode mode)
             // Each eviction strictly increased the free pool of its
             // channel at the moment it happened; cumulatively the
             // preempt stats must reflect real page movement.
-            if (mode == PreemptMode::Swap)
+            if (mode == PreemptMode::Swap) {
                 EXPECT_TRUE(kv.isSwappedOut(victim->id) ||
                             victim->status !=
                                 RequestStatus::Preempted)
                     << "seed " << seed;
+            }
         }
 
         sched.completeIteration(schedule);
@@ -293,9 +295,10 @@ runTrial(std::uint64_t seed, PreemptMode mode)
     const PreemptStats &ps = sched.preemptStats();
     EXPECT_EQ(ps.preemptions, ps.restores)
         << "drained run left evictions unrestored, seed " << seed;
-    if (mode == PreemptMode::Swap)
+    if (mode == PreemptMode::Swap) {
         EXPECT_EQ(ps.swapOutBytes, ps.swapInBytes)
             << "swap traffic asymmetric after drain, seed " << seed;
+    }
 }
 
 TEST(PreemptionProperties, RecomputeInvariantsHold)

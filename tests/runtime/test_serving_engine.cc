@@ -40,6 +40,17 @@ class FakeLatencyModel : public IterationLatencyModel
     Cycle perRequest_;
 };
 
+/** Content-less arrival with the policy/prefix fields defaulted. */
+ArrivalEvent
+arrival(Cycle time, int input_length, int output_length)
+{
+    ArrivalEvent ev;
+    ev.time = time;
+    ev.inputLength = input_length;
+    ev.outputLength = output_length;
+    return ev;
+}
+
 ServingConfig
 smallConfig(int pages_per_channel = 1000, int max_batch = 32)
 {
@@ -60,8 +71,8 @@ TEST(ServingEngine, ServesEveryRequestAndStampsTheTimeline)
 {
     std::vector<ArrivalEvent> events;
     for (int i = 0; i < 20; ++i)
-        events.push_back(ArrivalEvent{
-            static_cast<Cycle>(i) * 500, 8 + i % 5, 1 + i % 4});
+        events.push_back(
+            arrival(static_cast<Cycle>(i) * 500, 8 + i % 5, 1 + i % 4));
     ReplayTraffic traffic("replay", events);
     FakeLatencyModel latency;
     ServingEngine engine(smallConfig(), traffic, latency);
@@ -91,8 +102,9 @@ TEST(ServingEngine, ServesEveryRequestAndStampsTheTimeline)
 
 TEST(ServingEngine, TraceRowsAreMonotoneAndConsistent)
 {
-    ReplayTraffic traffic(
-        "replay", {{0, 10, 3}, {100, 12, 2}, {5000, 9, 4}});
+    ReplayTraffic traffic("replay", {arrival(0, 10, 3),
+                                     arrival(100, 12, 2),
+                                     arrival(5000, 9, 4)});
     FakeLatencyModel latency;
     ServingEngine engine(smallConfig(), traffic, latency);
     auto report = engine.run();
@@ -115,8 +127,8 @@ TEST(ServingEngine, TraceRowsAreMonotoneAndConsistent)
 TEST(ServingEngine, FastForwardsAcrossIdleGaps)
 {
     // Two requests separated by a gap far longer than their service.
-    ReplayTraffic traffic("replay",
-                          {{0, 4, 1}, {10'000'000, 4, 1}});
+    ReplayTraffic traffic(
+        "replay", {arrival(0, 4, 1), arrival(10'000'000, 4, 1)});
     FakeLatencyModel latency;
     ServingEngine engine(smallConfig(), traffic, latency);
     auto report = engine.run();
@@ -133,8 +145,9 @@ TEST(ServingEngine, DropsRequestsThatCanNeverFit)
 {
     // Channel capacity is 4 pages x 16 tokens; a 200-token prompt can
     // never be admitted and must be rejected, not livelocked on.
-    ReplayTraffic traffic("replay",
-                          {{0, 200, 3}, {10, 8, 2}, {20, 8, 2}});
+    ReplayTraffic traffic("replay", {arrival(0, 200, 3),
+                                     arrival(10, 8, 2),
+                                     arrival(20, 8, 2)});
     FakeLatencyModel latency;
     ServingEngine engine(smallConfig(4), traffic, latency);
     auto report = engine.run();
@@ -149,7 +162,7 @@ TEST(ServingEngine, SafetyStopsTrip)
 {
     std::vector<ArrivalEvent> events;
     for (int i = 0; i < 8; ++i)
-        events.push_back(ArrivalEvent{0, 8, 50});
+        events.push_back(arrival(0, 8, 50));
     {
         ReplayTraffic traffic("replay", events);
         FakeLatencyModel latency;
@@ -178,7 +191,7 @@ TEST(ServingEngine, QueueingDelayShowsUpInTtftUnderOverload)
     // Saturate a tiny batch budget: later requests must wait.
     std::vector<ArrivalEvent> burst;
     for (int i = 0; i < 64; ++i)
-        burst.push_back(ArrivalEvent{0, 8, 8});
+        burst.push_back(arrival(0, 8, 8));
     ReplayTraffic traffic("replay", burst);
     FakeLatencyModel latency;
     ServingEngine engine(smallConfig(1000, 8), traffic, latency);
@@ -205,8 +218,8 @@ TEST(ServingEngine, PrefillDecomposesTtftExactly)
 {
     std::vector<ArrivalEvent> events;
     for (int i = 0; i < 24; ++i)
-        events.push_back(ArrivalEvent{
-            static_cast<Cycle>(i) * 400, 5 + (i * 7) % 40, 1 + i % 4});
+        events.push_back(arrival(static_cast<Cycle>(i) * 400,
+                                 5 + (i * 7) % 40, 1 + i % 4));
     ReplayTraffic traffic("replay", events);
     FakeLatencyModel latency;
     ServingEngine engine(chunkedConfig(16, true), traffic, latency);
@@ -244,7 +257,8 @@ TEST(ServingEngine, PrefillDecomposesTtftExactly)
 
 TEST(ServingEngine, LegacyModeCollapsesPrefillSpanToZero)
 {
-    ReplayTraffic traffic("replay", {{0, 30, 2}, {100, 12, 3}});
+    ReplayTraffic traffic(
+        "replay", {arrival(0, 30, 2), arrival(100, 12, 3)});
     FakeLatencyModel latency;
     ServingEngine engine(smallConfig(), traffic, latency);
     auto report = engine.run();
@@ -263,7 +277,8 @@ TEST(ServingEngine, LegacyModeCollapsesPrefillSpanToZero)
 
 TEST(ServingEngine, WholePromptPrefillIsASingleIteration)
 {
-    ReplayTraffic traffic("replay", {{0, 100, 2}, {0, 37, 2}});
+    ReplayTraffic traffic(
+        "replay", {arrival(0, 100, 2), arrival(0, 37, 2)});
     FakeLatencyModel latency;
     ServingConfig cfg = smallConfig();
     cfg.scheduler.prefill.policy = PrefillPolicy::WholePrompt;
@@ -286,8 +301,8 @@ TEST(ServingEngine, NoPiggybackStallsDecodeDuringPrefill)
 {
     std::vector<ArrivalEvent> events;
     for (int i = 0; i < 16; ++i)
-        events.push_back(ArrivalEvent{
-            static_cast<Cycle>(i) * 2000, 24 + i % 9, 4});
+        events.push_back(
+            arrival(static_cast<Cycle>(i) * 2000, 24 + i % 9, 4));
     ReplayTraffic traffic("replay", events);
     FakeLatencyModel latency;
     ServingEngine engine(chunkedConfig(16, /*piggyback=*/false),
@@ -306,7 +321,7 @@ TEST(ServingEngine, SafetyStopReportsInFlightAndSkipsSentinels)
 {
     std::vector<ArrivalEvent> events;
     for (int i = 0; i < 12; ++i)
-        events.push_back(ArrivalEvent{0, 40, 50});
+        events.push_back(arrival(0, 40, 50));
     ReplayTraffic traffic("replay", events);
     FakeLatencyModel latency;
     ServingConfig cfg = chunkedConfig(16, true);

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * sim-lint self-tests: every rule has a seeded-regression fixture
+ * (positive) and a clean twin, the suppression grammar round-trips,
+ * unused/malformed suppressions are themselves violations, and the
+ * lexer survives the classic traps (raw strings, line continuations,
+ * comment markers inside strings, header-names).
+ */
+
+#include "sim_lint/sim_lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lint = neupims::lint;
+
+namespace {
+
+std::string
+fixturePath(const std::string &name)
+{
+#ifdef NEUPIMS_LINT_FIXTURE_DIR
+    return std::string(NEUPIMS_LINT_FIXTURE_DIR) + "/" + name;
+#else
+    return "tests/lint_fixtures/" + name;
+#endif
+}
+
+std::string
+readFixture(const std::string &name)
+{
+    std::ifstream in(fixturePath(name), std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << name;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** Lint `content` as if it lived at `path`, with self-collected names. */
+lint::FileReport
+run(const std::string &path, const std::string &content)
+{
+    std::set<std::string> names;
+    lint::collectUnorderedNames(content, names);
+    return lint::analyzeFile(path, content, names);
+}
+
+int
+countRule(const lint::FileReport &r, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(r.diagnostics.begin(), r.diagnostics.end(),
+                      [&](const lint::Diagnostic &d) {
+                          return d.rule == rule;
+                      }));
+}
+
+// --- Fixture round-trips: seeded regression per rule class -----------------
+
+TEST(SimLintFixtures, DeterminismBadFiresAndCleanTwinIsQuiet)
+{
+    auto bad = run("src/core/fixture.cc", readFixture("determinism_bad.cc.txt"));
+    // <chrono>, <random>, random_device, mt19937, rand, srand, Rng(),
+    // steady_clock, system_clock, time(), clock() — at least these.
+    EXPECT_GE(countRule(bad, "determinism"), 10);
+    EXPECT_EQ(static_cast<int>(bad.diagnostics.size()),
+              countRule(bad, "determinism"));
+
+    auto clean =
+        run("src/core/fixture.cc", readFixture("determinism_clean.cc.txt"));
+    EXPECT_TRUE(clean.diagnostics.empty())
+        << lint::formatDiagnostic(clean.diagnostics.front());
+}
+
+TEST(SimLintFixtures, AssertSideEffectBadFiresAndCleanTwinIsQuiet)
+{
+    auto bad = run("src/runtime/fixture.cc",
+                   readFixture("assert_side_effect_bad.cc.txt"));
+    // x++, --y, =, +=, pop(), pop() again in the compound predicate.
+    EXPECT_GE(countRule(bad, "assert-side-effect"), 6);
+
+    auto clean = run("src/runtime/fixture.cc",
+                     readFixture("assert_side_effect_clean.cc.txt"));
+    EXPECT_TRUE(clean.diagnostics.empty())
+        << lint::formatDiagnostic(clean.diagnostics.front());
+}
+
+TEST(SimLintFixtures, LayeringBadFiresAndCleanTwinIsQuiet)
+{
+    auto bad =
+        run("src/runtime/fixture.cc", readFixture("layering_bad.cc.txt"));
+    // runtime -> core and runtime -> dram are both forbidden.
+    EXPECT_EQ(countRule(bad, "layering"), 2);
+    bool sawDram = false;
+    for (const auto &d : bad.diagnostics)
+        sawDram |= d.message.find("runtime -> dram") != std::string::npos;
+    EXPECT_TRUE(sawDram) << "diagnostic must name the forbidden edge";
+
+    auto clean =
+        run("src/core/fixture.cc", readFixture("layering_clean.cc.txt"));
+    EXPECT_TRUE(clean.diagnostics.empty())
+        << lint::formatDiagnostic(clean.diagnostics.front());
+}
+
+TEST(SimLintFixtures, UnorderedIterBadFiresAndCleanTwinIsQuiet)
+{
+    auto bad = run("src/runtime/fixture.cc",
+                   readFixture("unordered_iter_bad.cc.txt"));
+    EXPECT_EQ(countRule(bad, "unordered-iter"), 2); // map + set loops
+
+    auto clean = run("src/runtime/fixture.cc",
+                     readFixture("unordered_iter_clean.cc.txt"));
+    EXPECT_TRUE(clean.diagnostics.empty())
+        << lint::formatDiagnostic(clean.diagnostics.front());
+    EXPECT_EQ(clean.suppressed, 1); // the annotated commutative fold
+}
+
+TEST(SimLintFixtures, LoggingBadFiresAndCleanTwinIsQuiet)
+{
+    auto bad =
+        run("src/core/fixture.cc", readFixture("logging_bad.cc.txt"));
+    // cout, cerr, printf, std::printf, puts, fprintf(stderr),
+    // fputs(stdout).
+    EXPECT_EQ(countRule(bad, "logging"), 7);
+
+    auto clean =
+        run("src/core/fixture.cc", readFixture("logging_clean.cc.txt"));
+    EXPECT_TRUE(clean.diagnostics.empty())
+        << lint::formatDiagnostic(clean.diagnostics.front());
+}
+
+// --- Layer scoping ---------------------------------------------------------
+
+TEST(SimLintScoping, SrcOnlyRulesAreExemptInBenchExamplesTests)
+{
+    const std::string content = readFixture("determinism_bad.cc.txt");
+    for (const char *path : {"bench/fixture.cc", "examples/fixture.cc",
+                             "tests/core/fixture.cc", "tools/x/fixture.cc"}) {
+        auto r = run(path, content);
+        EXPECT_EQ(countRule(r, "determinism"), 0) << path;
+    }
+    const std::string logging = readFixture("logging_bad.cc.txt");
+    auto r = run("examples/fixture.cc", logging);
+    EXPECT_EQ(countRule(r, "logging"), 0);
+}
+
+TEST(SimLintScoping, AssertRuleAppliesEverywhere)
+{
+    const std::string content =
+        readFixture("assert_side_effect_bad.cc.txt");
+    for (const char *path : {"tests/core/fixture.cc", "bench/fixture.cc",
+                             "examples/fixture.cc"}) {
+        auto r = run(path, content);
+        EXPECT_GE(countRule(r, "assert-side-effect"), 6) << path;
+    }
+}
+
+TEST(SimLintScoping, LayerOfPathNormalizesAbsoluteAndDotPaths)
+{
+    EXPECT_EQ(lint::layerOfPath("src/runtime/kv_cache.cc"),
+              lint::Layer::Runtime);
+    EXPECT_EQ(lint::layerOfPath("./src/dram/hbm.h"), lint::Layer::Dram);
+    EXPECT_EQ(lint::layerOfPath("/root/repo/src/npu/dma.h"),
+              lint::Layer::Npu);
+    EXPECT_EQ(lint::layerOfPath("tests/common/test_rng.cc"),
+              lint::Layer::Tests);
+    EXPECT_EQ(lint::layerOfPath("weird/place.cc"), lint::Layer::Unknown);
+}
+
+// --- The allowed-edge table ------------------------------------------------
+
+TEST(SimLintLayering, EdgeTableMatchesTheArchitectureDag)
+{
+    using L = lint::Layer;
+    // The load-bearing PR 7 invariant: runtime is hardware-free.
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Runtime, L::Dram));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Runtime, L::Npu));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Runtime, L::Model));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Runtime, L::Core));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Runtime, L::Common));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Runtime, L::Runtime));
+    // common is the leaf.
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Common, L::Runtime));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Common, L::Core));
+    // Hardware stack: npu streams from dram; dram depends on nothing
+    // above common; model compiles onto npu but not dram directly.
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Npu, L::Dram));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Dram, L::Npu));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Model, L::Npu));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Model, L::Dram));
+    // core integrates everything; nothing in src includes analysis.
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Core, L::Dram));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Core, L::Runtime));
+    EXPECT_FALSE(lint::layerEdgeAllowed(L::Core, L::Analysis));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Analysis, L::Core));
+    // Top tier sees everything.
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Tests, L::Dram));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Bench, L::Core));
+    EXPECT_TRUE(lint::layerEdgeAllowed(L::Examples, L::Runtime));
+}
+
+TEST(SimLintLayering, SameDirectoryIncludesAreFreeOfLayerChecks)
+{
+    auto r = run("src/runtime/x.cc", "#include \"local_helper.h\"\n");
+    EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- Suppression grammar ---------------------------------------------------
+
+TEST(SimLintSuppression, SameLineAndNextLineRoundTrip)
+{
+    auto sameLine = run("src/core/x.cc",
+                        "int x = rand(); // NOLINT-SIM(determinism): "
+                        "seeded upstream, fixture only\n");
+    EXPECT_TRUE(sameLine.diagnostics.empty());
+    EXPECT_EQ(sameLine.suppressed, 1);
+
+    auto nextLine =
+        run("src/core/x.cc",
+            "// NOLINT-SIM-NEXTLINE(determinism): fixture justification\n"
+            "int x = rand();\n");
+    EXPECT_TRUE(nextLine.diagnostics.empty());
+    EXPECT_EQ(nextLine.suppressed, 1);
+}
+
+TEST(SimLintSuppression, CommaListSilencesMultipleRules)
+{
+    auto r = run("src/core/x.cc",
+                 "// NOLINT-SIM-NEXTLINE(determinism, logging): fixture\n"
+                 "int x = printf(\"%d\", rand());\n");
+    EXPECT_TRUE(r.diagnostics.empty())
+        << lint::formatDiagnostic(r.diagnostics.front());
+    EXPECT_EQ(r.suppressed, 2);
+}
+
+TEST(SimLintSuppression, ReasonIsMandatory)
+{
+    for (const char *annot :
+         {"// NOLINT-SIM(determinism)",      // no colon at all
+          "// NOLINT-SIM(determinism):",     // empty reason
+          "// NOLINT-SIM(determinism):   "}) // whitespace reason
+    {
+        auto r = run("src/core/x.cc",
+                     std::string("int x = rand(); ") + annot + "\n");
+        EXPECT_EQ(countRule(r, "suppression"), 1) << annot;
+        // The malformed annotation must NOT silence the finding.
+        EXPECT_EQ(countRule(r, "determinism"), 1) << annot;
+    }
+}
+
+TEST(SimLintSuppression, UnknownOrProtectedRulesAreRejected)
+{
+    auto unknown = run("src/core/x.cc",
+                       "int x = 0; // NOLINT-SIM(no-such-rule): why\n");
+    EXPECT_EQ(countRule(unknown, "suppression"), 1);
+
+    auto prot = run("src/core/x.cc",
+                    "int x = 0; // NOLINT-SIM(unused-suppression): why\n");
+    EXPECT_EQ(countRule(prot, "suppression"), 1);
+}
+
+TEST(SimLintSuppression, UnusedSuppressionIsAViolation)
+{
+    auto r = run("src/core/x.cc",
+                 "int x = 7; // NOLINT-SIM(determinism): nothing here\n");
+    EXPECT_EQ(countRule(r, "unused-suppression"), 1);
+    EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(SimLintSuppression, WrongRuleDoesNotSilenceAndCountsUnused)
+{
+    auto r = run("src/core/x.cc",
+                 "int x = rand(); // NOLINT-SIM(logging): wrong rule\n");
+    EXPECT_EQ(countRule(r, "determinism"), 1);
+    EXPECT_EQ(countRule(r, "unused-suppression"), 1);
+}
+
+TEST(SimLintSuppression, BlockCommentCarriesSuppressions)
+{
+    auto r = run("src/core/x.cc",
+                 "int x = rand(); /* NOLINT-SIM(determinism): inline "
+                 "block form */\n");
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_EQ(r.suppressed, 1);
+}
+
+// --- Lexer edge cases ------------------------------------------------------
+
+TEST(SimLintLexer, RawStringsAreOpaque)
+{
+    auto r = run("src/core/x.cc",
+                 "const char *s = R\"(rand() std::cout printf(stderr) "
+                 "#include \"dram/hbm.h\")\";\n");
+    EXPECT_TRUE(r.diagnostics.empty())
+        << lint::formatDiagnostic(r.diagnostics.front());
+}
+
+TEST(SimLintLexer, CustomDelimiterRawStringTerminatesCorrectly)
+{
+    // The )" inside the literal is NOT the terminator — only )xyz" is.
+    // A naive lexer resumes lexing at the fake close and sees rand().
+    auto r = run("src/core/x.cc",
+                 "const char *s = R\"xyz( )\" rand() )xyz\";\n"
+                 "int ok = 1;\n");
+    EXPECT_TRUE(r.diagnostics.empty())
+        << lint::formatDiagnostic(r.diagnostics.front());
+}
+
+TEST(SimLintLexer, CommentMarkersInsideStringsDoNotOpenComments)
+{
+    // If "/*" in the literal opened a comment, the rand() after it
+    // would be swallowed and never flagged.
+    auto r = run("src/core/x.cc",
+                 "const char *s = \"/* not a comment\"; int x = rand();\n");
+    EXPECT_EQ(countRule(r, "determinism"), 1);
+}
+
+TEST(SimLintLexer, EscapedQuotesStayInsideTheLiteral)
+{
+    auto r = run("src/core/x.cc",
+                 "const char *s = \"quoted \\\" rand() still string\";\n");
+    EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(SimLintLexer, LineContinuationExtendsLineComments)
+{
+    // The backslash splices the next line into the comment (phase-2
+    // splicing precedes comment recognition), so the rand() call is
+    // commented out.
+    auto r = run("src/core/x.cc",
+                 "// this comment continues \\\n"
+                 "int x = rand();\n"
+                 "int y = 2;\n");
+    EXPECT_TRUE(r.diagnostics.empty())
+        << lint::formatDiagnostic(r.diagnostics.front());
+}
+
+TEST(SimLintLexer, LineContinuationInsideCodeKeepsOriginalLineNumbers)
+{
+    auto r = run("src/core/x.cc",
+                 "int a = 1;\n"
+                 "int x = ra\\\nnd();\n");
+    ASSERT_EQ(countRule(r, "determinism"), 1);
+    EXPECT_EQ(r.diagnostics.front().line, 2); // where the call starts
+}
+
+TEST(SimLintLexer, HeaderNamesLexAsSingleTokens)
+{
+    // <chrono> must be one token (flagged); <vector> must not drag
+    // the following identifiers into a false match.
+    auto r = run("src/core/x.cc",
+                 "#include <vector>\n#include <chrono>\n");
+    ASSERT_EQ(countRule(r, "determinism"), 1);
+    EXPECT_EQ(r.diagnostics.front().line, 2);
+}
+
+TEST(SimLintLexer, MemberCallsNamedLikeBannedFunctionsAreFine)
+{
+    auto r = run("src/core/x.cc",
+                 "struct Ev { long time() const { return 0; } };\n"
+                 "long f(const Ev &e) { return e.time(); }\n"
+                 "long g(const Ev *e) { return e->time(); }\n");
+    EXPECT_TRUE(r.diagnostics.empty())
+        << lint::formatDiagnostic(r.diagnostics.front());
+}
+
+// --- Unordered-name collection across files --------------------------------
+
+TEST(SimLintUnordered, NamesCollectedInHeadersFlagLoopsInSources)
+{
+    std::set<std::string> names;
+    lint::collectUnorderedNames(
+        "#include <unordered_map>\n"
+        "struct S { std::unordered_map<int, std::vector<int>> deep_; };\n",
+        names);
+    EXPECT_EQ(names.count("deep_"), 1u);
+
+    auto r = lint::analyzeFile("src/runtime/user.cc",
+                               "void f(S &s) {\n"
+                               "  for (auto &kv : s.deep_) { (void)kv; }\n"
+                               "}\n",
+                               names);
+    EXPECT_EQ(countRule(r, "unordered-iter"), 1);
+}
+
+TEST(SimLintUnordered, NestedTemplateArgumentsDoNotConfuseTheScanner)
+{
+    std::set<std::string> names;
+    lint::collectUnorderedNames(
+        "std::unordered_map<std::pair<int,int>, std::map<int,int>> a_;\n"
+        "std::unordered_set<std::vector<std::pair<long,long>>> b_;\n",
+        names);
+    EXPECT_EQ(names.count("a_"), 1u);
+    EXPECT_EQ(names.count("b_"), 1u);
+}
+
+// --- Diagnostics & registry ------------------------------------------------
+
+TEST(SimLintFormat, DiagnosticRendersFileLineColRule)
+{
+    lint::Diagnostic d{"src/core/x.cc", 12, 5, "determinism", "boom"};
+    EXPECT_EQ(lint::formatDiagnostic(d),
+              "src/core/x.cc:12:5: [determinism] boom");
+}
+
+TEST(SimLintRegistry, AllRulesAreRegisteredAndMachineryIsProtected)
+{
+    const auto &rules = lint::ruleNames();
+    for (const char *r : {"determinism", "assert-side-effect", "layering",
+                          "unordered-iter", "logging", "suppression",
+                          "unused-suppression"})
+        EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end())
+            << r;
+    EXPECT_TRUE(lint::ruleSuppressible("determinism"));
+    EXPECT_FALSE(lint::ruleSuppressible("suppression"));
+    EXPECT_FALSE(lint::ruleSuppressible("unused-suppression"));
+}
+
+// --- The repo itself must stay clean (mirrors the CI gate) -----------------
+
+TEST(SimLintRepo, AnnotatedSitesInTheTreeRoundTrip)
+{
+    // The canonical in-tree annotation: kv_cache.cc's order-free
+    // assertion loop over the unordered sequence table.
+    std::set<std::string> names;
+    names.insert("sequences_");
+    auto r = lint::analyzeFile(
+        "src/runtime/kv_cache.cc",
+        "// NOLINT-SIM-NEXTLINE(unordered-iter): order-independent check\n"
+        "for (const auto &entry : sequences_) { use(entry); }\n",
+        names);
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_EQ(r.suppressed, 1);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * sim-lint CLI: `sim_lint [--error-exit] [--list-rules] paths…`
+ *
+ * Lints every .h/.cc/.cpp under the given files/directories in two
+ * passes (pass 1 collects unordered-container names repo-wide, pass 2
+ * runs the rules), prints `file:line:col: [rule] message` diagnostics
+ * and a summary. With --error-exit the exit status is 1 when any
+ * violation (including an unused suppression) survives — the CI gate.
+ */
+
+#include "sim_lint/sim_lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &roots)
+{
+    std::vector<std::string> files;
+    for (const auto &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (fs::recursive_directory_iterator it(root, ec), end;
+                 it != end; it.increment(ec)) {
+                if (!ec && it->is_regular_file() &&
+                    lintableExtension(it->path()))
+                    files.push_back(it->path().generic_string());
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(root);
+        } else {
+            std::fprintf(stderr, "sim_lint: no such file or directory: %s\n",
+                         root.c_str());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool errorExit = false;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--error-exit") {
+            errorExit = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &r : neupims::lint::ruleNames())
+                std::printf("%s%s\n", r.c_str(),
+                            neupims::lint::ruleSuppressible(r)
+                                ? ""
+                                : " (not suppressible)");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: sim_lint [--error-exit] [--list-rules] paths...\n"
+                "Repo-contract static analysis: determinism, layering,\n"
+                "Debug/Release divergence, unordered iteration, logging.\n"
+                "Suppress with // NOLINT-SIM(rule): reason (mandatory).\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "sim_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr,
+                     "sim_lint: no inputs (try: sim_lint --error-exit "
+                     "src tests bench examples)\n");
+        return 2;
+    }
+
+    const std::vector<std::string> files = collectFiles(roots);
+
+    // Pass 1: unordered-container names are declared in headers but
+    // iterated in .cc files, so the name set is collected repo-wide.
+    std::set<std::string> unorderedNames;
+    std::vector<std::string> contents;
+    contents.reserve(files.size());
+    for (const auto &f : files) {
+        contents.push_back(readFile(f));
+        neupims::lint::collectUnorderedNames(contents.back(),
+                                             unorderedNames);
+    }
+
+    // Pass 2: rules + suppression accounting.
+    long violations = 0, suppressed = 0;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const auto report =
+            neupims::lint::analyzeFile(files[i], contents[i],
+                                       unorderedNames);
+        suppressed += report.suppressed;
+        violations += static_cast<long>(report.diagnostics.size());
+        for (const auto &d : report.diagnostics)
+            std::printf("%s\n",
+                        neupims::lint::formatDiagnostic(d).c_str());
+    }
+
+    std::printf("sim_lint: %zu files, %ld violation%s, %ld suppression%s "
+                "in use\n",
+                files.size(), violations, violations == 1 ? "" : "s",
+                suppressed, suppressed == 1 ? "" : "s");
+    return errorExit && violations > 0 ? 1 : 0;
+}

@@ -1,0 +1,909 @@
+#include "sim_lint/sim_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+#include <sstream>
+#include <tuple>
+
+namespace neupims::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+    enum class Kind { Ident, Number, Punct, String };
+    Kind kind;
+    std::string text; ///< for String: includes delimiters ("…", '…', <…>)
+    int line = 0;
+    int col = 0;
+};
+
+struct Comment {
+    std::string text; ///< body without the // or /* */ markers
+    int line = 0;     ///< line the comment starts on
+    int col = 0;
+};
+
+struct LexResult {
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Lex C++ source: line splices first (a backslash-newline vanishes, as
+ * in translation phase 2), then comments, string/char literals, raw
+ * strings, header-names after #include, identifiers, numbers and
+ * multi-char punctuation. Diagnostics carry the original line:col.
+ */
+LexResult
+lex(const std::string &src)
+{
+    // Phase 1: remove line splices, remembering each surviving
+    // character's original position.
+    std::string s;
+    std::vector<int> lineAt, colAt;
+    s.reserve(src.size());
+    {
+        int line = 1, col = 1;
+        for (std::size_t i = 0; i < src.size();) {
+            if (src[i] == '\\' && i + 1 < src.size() &&
+                (src[i + 1] == '\n' ||
+                 (src[i + 1] == '\r' && i + 2 < src.size() &&
+                  src[i + 2] == '\n'))) {
+                i += src[i + 1] == '\r' ? 3 : 2;
+                ++line;
+                col = 1;
+                continue;
+            }
+            s.push_back(src[i]);
+            lineAt.push_back(line);
+            colAt.push_back(col);
+            if (src[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+            ++i;
+        }
+    }
+
+    LexResult out;
+    const std::size_t n = s.size();
+    std::size_t i = 0;
+    // Set when the two most recent tokens are `#` `include`, so that a
+    // following <…> lexes as one header-name token instead of
+    // punctuation around identifiers.
+    bool headerNameNext = false;
+
+    auto push = [&](Token::Kind kind, std::size_t begin, std::size_t end) {
+        out.tokens.push_back(Token{kind, s.substr(begin, end - begin),
+                                   lineAt[begin], colAt[begin]});
+        // Arm header-name lexing when the last two tokens are
+        // `#` `include`, so a following <…> lexes as one token.
+        const std::size_t m = out.tokens.size();
+        headerNameNext =
+            m >= 2 && out.tokens[m - 1].kind == Token::Kind::Ident &&
+            out.tokens[m - 1].text == "include" &&
+            out.tokens[m - 2].kind == Token::Kind::Punct &&
+            out.tokens[m - 2].text == "#";
+    };
+
+    while (i < n) {
+        const char c = s[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+            std::size_t begin = i;
+            i += 2;
+            std::size_t bodyBegin = i;
+            while (i < n && s[i] != '\n')
+                ++i;
+            out.comments.push_back(Comment{s.substr(bodyBegin, i - bodyBegin),
+                                           lineAt[begin], colAt[begin]});
+            continue;
+        }
+        if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+            std::size_t begin = i;
+            i += 2;
+            std::size_t bodyBegin = i;
+            while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/'))
+                ++i;
+            std::size_t bodyEnd = i + 1 < n ? i : n;
+            i = i + 1 < n ? i + 2 : n;
+            out.comments.push_back(
+                Comment{s.substr(bodyBegin, bodyEnd - bodyBegin),
+                        lineAt[begin], colAt[begin]});
+            continue;
+        }
+        // Header-name after #include.
+        if (headerNameNext && c == '<') {
+            std::size_t begin = i;
+            while (i < n && s[i] != '>' && s[i] != '\n')
+                ++i;
+            if (i < n && s[i] == '>')
+                ++i;
+            push(Token::Kind::String, begin, i);
+            headerNameNext = false;
+            continue;
+        }
+        // Identifiers — and raw strings, whose R-prefix lexes as one.
+        if (identStart(c)) {
+            std::size_t begin = i;
+            while (i < n && identChar(s[i]))
+                ++i;
+            const std::string word = s.substr(begin, i - begin);
+            const bool rawPrefix = word == "R" || word == "uR" ||
+                                   word == "u8R" || word == "UR" ||
+                                   word == "LR";
+            if (rawPrefix && i < n && s[i] == '"') {
+                // R"delim( … )delim" — the only escape-free literal.
+                ++i;
+                std::size_t d0 = i;
+                while (i < n && s[i] != '(')
+                    ++i;
+                const std::string delim = ")" + s.substr(d0, i - d0) + "\"";
+                if (i < n)
+                    ++i; // consume '('
+                std::size_t close = s.find(delim, i);
+                i = close == std::string::npos ? n : close + delim.size();
+                push(Token::Kind::String, begin, i);
+            } else {
+                push(Token::Kind::Ident, begin, i);
+            }
+            continue;
+        }
+        // Numbers (pp-number approximation: digits, ', ., exponents).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+            std::size_t begin = i;
+            while (i < n && (identChar(s[i]) || s[i] == '.' ||
+                             s[i] == '\'' ||
+                             ((s[i] == '+' || s[i] == '-') &&
+                              (s[i - 1] == 'e' || s[i - 1] == 'E' ||
+                               s[i - 1] == 'p' || s[i - 1] == 'P'))))
+                ++i;
+            push(Token::Kind::Number, begin, i);
+            continue;
+        }
+        // String and char literals (escapes honored).
+        if (c == '"' || c == '\'') {
+            std::size_t begin = i;
+            const char quote = c;
+            ++i;
+            while (i < n && s[i] != quote) {
+                if (s[i] == '\\' && i + 1 < n)
+                    ++i;
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            push(Token::Kind::String, begin, i);
+            continue;
+        }
+        // Punctuation, longest-match.
+        {
+            static const char *three[] = {"<<=", ">>=", "...", "->*"};
+            static const char *two[] = {"++", "--", "->", "::", "<<", ">>",
+                                        "<=", ">=", "==", "!=", "+=", "-=",
+                                        "*=", "/=", "%=", "&=", "|=", "^=",
+                                        "&&", "||", "##"};
+            std::size_t len = 1;
+            for (const char *p : three)
+                if (s.compare(i, 3, p) == 0)
+                    len = 3;
+            if (len == 1)
+                for (const char *p : two)
+                    if (s.compare(i, 2, p) == 0)
+                        len = 2;
+            push(Token::Kind::Punct, i, i + len);
+            i += len;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+    int line = 0; ///< the line whose diagnostics it silences
+    int col = 0;
+    std::string rule;
+    bool used = false;
+};
+
+std::string
+trim(const std::string &t)
+{
+    std::size_t b = t.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = t.find_last_not_of(" \t\r\n");
+    return t.substr(b, e - b + 1);
+}
+
+/**
+ * Parse `NOLINT-SIM(rule[,rule…]): reason` (and the -NEXTLINE variant)
+ * out of every comment. Grammar violations — missing rule list, an
+ * unknown or non-suppressible rule, a missing reason — are diagnostics
+ * themselves (`suppression`), never silently ignored.
+ */
+void
+parseSuppressions(const std::string &file,
+                  const std::vector<Comment> &comments,
+                  std::vector<Suppression> &sups,
+                  std::vector<Diagnostic> &diags)
+{
+    static const std::string kTag = "NOLINT-SIM";
+    for (const auto &c : comments) {
+        std::size_t pos = 0;
+        while ((pos = c.text.find(kTag, pos)) != std::string::npos) {
+            // Line of this occurrence inside (possibly multi-line
+            // block) comments.
+            int line = c.line +
+                       static_cast<int>(std::count(c.text.begin(),
+                                                   c.text.begin() +
+                                                       static_cast<long>(pos),
+                                                   '\n'));
+            std::size_t p = pos + kTag.size();
+            int target = line;
+            static const std::string kNext = "-NEXTLINE";
+            if (c.text.compare(p, kNext.size(), kNext) == 0) {
+                p += kNext.size();
+                target = line + 1;
+            }
+            auto bad = [&](const std::string &why) {
+                diags.push_back(Diagnostic{file, line, c.col, "suppression",
+                                           "malformed NOLINT-SIM: " + why});
+            };
+            if (p >= c.text.size() || c.text[p] != '(') {
+                bad("expected '(rule)' after the tag");
+                pos = p;
+                continue;
+            }
+            std::size_t close = c.text.find(')', p);
+            if (close == std::string::npos) {
+                bad("unterminated rule list");
+                pos = p;
+                continue;
+            }
+            // Split the comma-separated rule list.
+            std::vector<std::string> rules;
+            {
+                std::string list = c.text.substr(p + 1, close - p - 1);
+                std::stringstream ss(list);
+                std::string item;
+                while (std::getline(ss, item, ','))
+                    if (!trim(item).empty())
+                        rules.push_back(trim(item));
+            }
+            p = close + 1;
+            if (rules.empty()) {
+                bad("empty rule list");
+                pos = p;
+                continue;
+            }
+            bool rulesOk = true;
+            for (const auto &r : rules) {
+                const auto &known = ruleNames();
+                if (std::find(known.begin(), known.end(), r) ==
+                    known.end()) {
+                    bad("unknown rule '" + r + "'");
+                    rulesOk = false;
+                } else if (!ruleSuppressible(r)) {
+                    bad("rule '" + r + "' cannot be suppressed");
+                    rulesOk = false;
+                }
+            }
+            if (p >= c.text.size() || c.text[p] != ':') {
+                bad("missing ': reason' — the justification is mandatory");
+                pos = p;
+                continue;
+            }
+            std::size_t eol = c.text.find('\n', p);
+            std::string reason = c.text.substr(
+                p + 1, eol == std::string::npos ? std::string::npos
+                                                : eol - p - 1);
+            if (trim(reason).empty()) {
+                bad("empty reason — the justification is mandatory");
+                pos = p;
+                continue;
+            }
+            if (rulesOk)
+                for (const auto &r : rules)
+                    sups.push_back(Suppression{target, c.col, r, false});
+            pos = p;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+bool
+isSrcLayer(Layer l)
+{
+    switch (l) {
+    case Layer::Common:
+    case Layer::Dram:
+    case Layer::Npu:
+    case Layer::Model:
+    case Layer::Runtime:
+    case Layer::Core:
+    case Layer::Analysis:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/** True if tokens[i] is called as a free function (not a member). */
+bool
+isFreeCall(const std::vector<Token> &t, std::size_t i)
+{
+    if (i + 1 >= t.size() || t[i + 1].text != "(")
+        return false;
+    if (i == 0)
+        return true;
+    const std::string &prev = t[i - 1].text;
+    if (prev == "." || prev == "->")
+        return false;
+    if (prev == "::") // qualified: only std::X counts as the libc call
+        return i >= 2 && t[i - 2].text == "std";
+    // `long time() const` — a preceding identifier (other than an
+    // expression-context keyword) or type syntax means this is a
+    // declaration of a like-named member, not a call.
+    static const std::set<std::string> kExprKeywords = {
+        "return", "co_return", "co_yield", "co_await",
+        "throw",  "else",      "do",       "case"};
+    if (t[i - 1].kind == Token::Kind::Ident)
+        return kExprKeywords.count(prev) != 0;
+    if (prev == ">" || prev == "*" || prev == "&")
+        return false;
+    return true;
+}
+
+/** Index of the `)` matching the `(` at `open`, or tokens.size(). */
+std::size_t
+matchParen(const std::vector<Token> &t, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Punct)
+            continue;
+        if (t[i].text == "(")
+            ++depth;
+        else if (t[i].text == ")" && --depth == 0)
+            return i;
+    }
+    return t.size();
+}
+
+bool
+isMutatorName(const std::string &name)
+{
+    static const std::set<std::string> kMutators = {
+        "push_back", "pop_back",      "push_front", "pop_front",
+        "insert",    "erase",         "clear",      "emplace",
+        "emplace_back", "emplace_front", "reset",   "release",
+        "advance",   "consume",       "commit",     "append",
+        "assign",    "resize",        "swap",       "remove",
+        "push",      "pop",           "take",       "acquire",
+        "schedule",  "step",          "run",
+    };
+    if (kMutators.count(name))
+        return true;
+    // setX / addX style accessor-mutators.
+    for (const char *prefix : {"set", "add"})
+        if (name.size() > 3 && name.compare(0, 3, prefix) == 0 &&
+            (std::isupper(static_cast<unsigned char>(name[3])) ||
+             name[3] == '_'))
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/**
+ * determinism: simulation results must not depend on the host. No libc
+ * or <random>/<chrono> randomness and wall-clock time in src/ — all
+ * randomness is a seeded common/rng.h stream, all time the simulated
+ * Cycle clock — and no argless Rng() (the fixed default seed aliases
+ * every unseeded stream onto one sequence).
+ */
+void
+ruleDeterminism(const std::string &file, const std::vector<Token> &t,
+                std::vector<Diagnostic> &out)
+{
+    static const std::set<std::string> kRngNames = {
+        "random_device", "mt19937",      "mt19937_64",
+        "minstd_rand",   "minstd_rand0", "default_random_engine",
+        "ranlux24",      "ranlux48",     "knuth_b",
+    };
+    static const std::set<std::string> kClockNames = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "localtime",
+        "gmtime",        "mktime",        "timespec_get",
+    };
+    static const std::set<std::string> kBannedCalls = {"rand", "srand",
+                                                       "time", "clock"};
+    static const std::set<std::string> kBannedHeaders = {
+        "<random>", "<chrono>", "<ctime>", "<time.h>", "<sys/time.h>"};
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind == Token::Kind::String &&
+            kBannedHeaders.count(t[i].text) && i >= 2 &&
+            t[i - 1].text == "include" && t[i - 2].text == "#") {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "determinism",
+                "#include " + t[i].text +
+                    " in src/: host randomness/time must not reach "
+                    "simulation code (common/rng.h streams, Cycle clock)"});
+            continue;
+        }
+        if (t[i].kind != Token::Kind::Ident)
+            continue;
+        if (kRngNames.count(t[i].text)) {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "determinism",
+                "'" + t[i].text +
+                    "': all randomness in src/ must come from seeded "
+                    "common/rng.h streams (bit-identical across stdlibs)"});
+        } else if (kClockNames.count(t[i].text)) {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "determinism",
+                "'" + t[i].text +
+                    "': simulation decisions must use the simulated "
+                    "Cycle clock, never host wall-clock time"});
+        } else if (kBannedCalls.count(t[i].text) && isFreeCall(t, i)) {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "determinism",
+                "'" + t[i].text +
+                    "()': libc randomness/time is banned in src/ "
+                    "(common/rng.h streams, Cycle clock)"});
+        } else if (t[i].text == "Rng" && i + 2 < t.size() &&
+                   ((t[i + 1].text == "(" && t[i + 2].text == ")") ||
+                    (t[i + 1].text == "{" && t[i + 2].text == "}"))) {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "determinism",
+                "argless Rng() uses the fixed default seed — every "
+                "stream must be seeded explicitly (seed ^ stream-tag)"});
+        }
+    }
+}
+
+/**
+ * assert-side-effect: `assert(e)` vanishes under NDEBUG, so any side
+ * effect in `e` silently changes Release behavior vs Debug — the exact
+ * divergence the bit-identical goldens exist to rule out. Flags ++/--,
+ * assignment operators and calls to mutator-named members inside a
+ * plain assert(). NEUPIMS_ASSERT is exempt: it is active in every
+ * build type, so its argument runs identically everywhere.
+ */
+void
+ruleAssertSideEffect(const std::string &file, const std::vector<Token> &t,
+                     std::vector<Diagnostic> &out)
+{
+    static const std::set<std::string> kAssignOps = {
+        "=",  "+=", "-=", "*=",  "/=",
+        "%=", "&=", "|=", "^=", "<<=", ">>="};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Ident || t[i].text != "assert" ||
+            !isFreeCall(t, i))
+            continue;
+        const std::size_t close = matchParen(t, i + 1);
+        for (std::size_t j = i + 2; j < close; ++j) {
+            std::string offender;
+            if (t[j].kind == Token::Kind::Punct &&
+                (t[j].text == "++" || t[j].text == "--" ||
+                 kAssignOps.count(t[j].text))) {
+                offender = t[j].text;
+            } else if (t[j].kind == Token::Kind::Ident &&
+                       j + 1 < close && t[j + 1].text == "(" && j >= 1 &&
+                       (t[j - 1].text == "." || t[j - 1].text == "->") &&
+                       isMutatorName(t[j].text)) {
+                offender = t[j].text + "()";
+            }
+            if (!offender.empty())
+                out.push_back(Diagnostic{
+                    file, t[j].line, t[j].col, "assert-side-effect",
+                    "side effect '" + offender +
+                        "' inside assert(): NDEBUG builds drop the "
+                        "expression and silently diverge from Debug — "
+                        "hoist it, or use NEUPIMS_ASSERT (always on)"});
+        }
+        i = close;
+    }
+}
+
+/**
+ * layering: the #include graph must respect the architecture DAG (see
+ * layerEdgeAllowed). The load-bearing edge is runtime ↛ dram —
+ * `runtime/` is hardware-free and prices hardware only through the
+ * iteration-model interfaces `core/` hands it.
+ */
+void
+ruleLayering(const std::string &file, Layer layer,
+             const std::vector<Token> &t, std::vector<Diagnostic> &out)
+{
+    static const std::pair<const char *, Layer> kDirs[] = {
+        {"common", Layer::Common}, {"dram", Layer::Dram},
+        {"npu", Layer::Npu},       {"model", Layer::Model},
+        {"runtime", Layer::Runtime}, {"core", Layer::Core},
+        {"analysis", Layer::Analysis}};
+    for (std::size_t i = 2; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::String || t[i].text.size() < 2 ||
+            t[i].text[0] != '"' || t[i - 1].text != "include" ||
+            t[i - 2].text != "#")
+            continue;
+        const std::string path =
+            t[i].text.substr(1, t[i].text.size() - 2);
+        const std::size_t slash = path.find('/');
+        if (slash == std::string::npos)
+            continue; // same-directory include
+        const std::string dir = path.substr(0, slash);
+        Layer target = Layer::Unknown;
+        for (const auto &d : kDirs)
+            if (dir == d.first)
+                target = d.second;
+        if (target == Layer::Unknown ||
+            layerEdgeAllowed(layer, target))
+            continue;
+        std::string allowed;
+        for (const auto &d : kDirs)
+            if (layerEdgeAllowed(layer, d.second))
+                allowed += (allowed.empty() ? "" : ", ") +
+                           std::string(d.first);
+        out.push_back(Diagnostic{
+            file, t[i].line, t[i].col, "layering",
+            "forbidden include edge " + std::string(layerName(layer)) +
+                " -> " + layerName(target) + " ('" + path +
+                "'); allowed targets from " + layerName(layer) + ": {" +
+                allowed + "}"});
+    }
+}
+
+/**
+ * unordered-iter: range-for over an unordered container makes the
+ * visit order stdlib-specific — any simulation decision downstream
+ * breaks bit-identical goldens across hosts. Every such loop in src/
+ * must either iterate a deterministic container or carry a
+ * NOLINT-SIM(unordered-iter) arguing order-independence.
+ */
+void
+ruleUnorderedIter(const std::string &file, const std::vector<Token> &t,
+                  const std::set<std::string> &unorderedNames,
+                  std::vector<Diagnostic> &out)
+{
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Ident || t[i].text != "for" ||
+            t[i + 1].text != "(")
+            continue;
+        const std::size_t close = matchParen(t, i + 1);
+        // The range-for ':' sits at parenthesis depth 1.
+        std::size_t colon = t.size();
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (t[j].kind != Token::Kind::Punct)
+                continue;
+            if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{")
+                ++depth;
+            else if (t[j].text == ")" || t[j].text == "]" ||
+                     t[j].text == "}")
+                --depth;
+            else if (t[j].text == ":" && depth == 1) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon == t.size())
+            continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+            if (t[j].kind == Token::Kind::Ident &&
+                unorderedNames.count(t[j].text)) {
+                out.push_back(Diagnostic{
+                    file, t[j].line, t[j].col, "unordered-iter",
+                    "range-for over unordered container '" + t[j].text +
+                        "': iteration order is unspecified — iterate a "
+                        "deterministic container, or annotate "
+                        "NOLINT-SIM(unordered-iter) with an "
+                        "order-independence argument"});
+                break;
+            }
+        }
+        i = close;
+    }
+}
+
+/**
+ * logging: src/ libraries must not write to the console directly —
+ * status goes through common/log.h (inform/warn/debug), program output
+ * through neupims::output(). snprintf-to-buffer and fprintf to an
+ * explicit FILE* (serialization) are fine; stdout/stderr are not.
+ * Examples, benches, tests and tools own their stdout and are exempt.
+ */
+void
+ruleLogging(const std::string &file, const std::vector<Token> &t,
+            std::vector<Diagnostic> &out)
+{
+    static const std::set<std::string> kStreams = {"cout", "cerr", "clog"};
+    static const std::set<std::string> kConsoleCalls = {
+        "printf", "vprintf", "puts", "putchar"};
+    static const std::set<std::string> kFileCalls = {
+        "fprintf", "vfprintf", "fputs", "fputc", "fwrite", "fflush"};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Ident)
+            continue;
+        const std::string &name = t[i].text;
+        if (kStreams.count(name) && i >= 2 && t[i - 1].text == "::" &&
+            t[i - 2].text == "std") {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "logging",
+                "'std::" + name +
+                    "' in a src/ library: route status through "
+                    "common/log.h and program output through "
+                    "neupims::output()"});
+        } else if (kConsoleCalls.count(name) && isFreeCall(t, i)) {
+            out.push_back(Diagnostic{
+                file, t[i].line, t[i].col, "logging",
+                "'" + name +
+                    "()' writes to the console from a src/ library: "
+                    "route through common/log.h"});
+        } else if (kFileCalls.count(name) && isFreeCall(t, i)) {
+            const std::size_t close = matchParen(t, i + 1);
+            for (std::size_t j = i + 2; j < close; ++j)
+                if (t[j].kind == Token::Kind::Ident &&
+                    (t[j].text == "stdout" || t[j].text == "stderr")) {
+                    out.push_back(Diagnostic{
+                        file, t[i].line, t[i].col, "logging",
+                        "'" + name + "(" + t[j].text +
+                            ", …)' from a src/ library: route through "
+                            "common/log.h (fprintf to an explicit "
+                            "FILE* is fine)"});
+                    break;
+                }
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> kRules = {
+        "determinism",  "assert-side-effect", "layering",
+        "unordered-iter", "logging",          "suppression",
+        "unused-suppression"};
+    return kRules;
+}
+
+bool
+ruleSuppressible(const std::string &rule)
+{
+    // The suppression machinery itself cannot be silenced, or
+    // annotations could rot invisibly.
+    return rule != "suppression" && rule != "unused-suppression";
+}
+
+Layer
+layerOfPath(const std::string &path)
+{
+    // Normalize: strip "./" and, for absolute paths, anything before
+    // the last recognized root segment.
+    std::string p = path;
+    if (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    for (const char *root : {"/src/", "/tests/", "/bench/", "/examples/",
+                             "/tools/"}) {
+        std::size_t at = p.rfind(root);
+        if (at != std::string::npos)
+            p = p.substr(at + 1);
+    }
+    static const std::pair<const char *, Layer> kSrcDirs[] = {
+        {"src/common/", Layer::Common}, {"src/dram/", Layer::Dram},
+        {"src/npu/", Layer::Npu},       {"src/model/", Layer::Model},
+        {"src/runtime/", Layer::Runtime}, {"src/core/", Layer::Core},
+        {"src/analysis/", Layer::Analysis}};
+    for (const auto &d : kSrcDirs)
+        if (p.rfind(d.first, 0) == 0)
+            return d.second;
+    if (p.rfind("tests/", 0) == 0)
+        return Layer::Tests;
+    if (p.rfind("bench/", 0) == 0)
+        return Layer::Bench;
+    if (p.rfind("examples/", 0) == 0)
+        return Layer::Examples;
+    if (p.rfind("tools/", 0) == 0)
+        return Layer::Tools;
+    return Layer::Unknown;
+}
+
+const char *
+layerName(Layer layer)
+{
+    switch (layer) {
+    case Layer::Common: return "common";
+    case Layer::Dram: return "dram";
+    case Layer::Npu: return "npu";
+    case Layer::Model: return "model";
+    case Layer::Runtime: return "runtime";
+    case Layer::Core: return "core";
+    case Layer::Analysis: return "analysis";
+    case Layer::Tests: return "tests";
+    case Layer::Bench: return "bench";
+    case Layer::Examples: return "examples";
+    case Layer::Tools: return "tools";
+    case Layer::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+bool
+layerEdgeAllowed(Layer from, Layer to)
+{
+    const auto any = [to](std::initializer_list<Layer> allowed) {
+        for (Layer l : allowed)
+            if (l == to)
+                return true;
+        return false;
+    };
+    switch (from) {
+    case Layer::Common:
+        return any({Layer::Common});
+    case Layer::Dram:
+        return any({Layer::Common, Layer::Dram});
+    case Layer::Npu:
+        return any({Layer::Common, Layer::Dram, Layer::Npu});
+    case Layer::Model:
+        return any({Layer::Common, Layer::Npu, Layer::Model});
+    case Layer::Runtime:
+        // Hardware-free by contract: pricing reaches runtime only via
+        // the iteration-model interfaces core hands it (PR 7).
+        return any({Layer::Common, Layer::Runtime});
+    case Layer::Core:
+        return any({Layer::Common, Layer::Dram, Layer::Npu, Layer::Model,
+                    Layer::Runtime, Layer::Core});
+    case Layer::Analysis:
+        return any({Layer::Common, Layer::Dram, Layer::Npu, Layer::Model,
+                    Layer::Runtime, Layer::Core, Layer::Analysis});
+    case Layer::Tests:
+    case Layer::Bench:
+    case Layer::Examples:
+    case Layer::Tools:
+    case Layer::Unknown:
+        return true;
+    }
+    return true;
+}
+
+void
+collectUnorderedNames(const std::string &content,
+                      std::set<std::string> &names)
+{
+    const LexResult lexed = lex(content);
+    const auto &t = lexed.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Ident ||
+            (t[i].text != "unordered_map" && t[i].text != "unordered_set" &&
+             t[i].text != "unordered_multimap" &&
+             t[i].text != "unordered_multiset"))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= t.size() || t[j].text != "<")
+            continue;
+        // Skip the balanced template argument list; `>>` closes two.
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+            if (t[j].kind != Token::Kind::Punct)
+                continue;
+            if (t[j].text == "<")
+                ++depth;
+            else if (t[j].text == "<<")
+                depth += 2;
+            else if (t[j].text == ">")
+                --depth;
+            else if (t[j].text == ">>")
+                depth -= 2;
+            if (depth <= 0)
+                break;
+        }
+        // Declarator: skip ref/pointer/cv tokens, then take the name.
+        for (++j; j < t.size() &&
+                  (t[j].text == "&" || t[j].text == "*" ||
+                   t[j].text == "const");
+             ++j)
+            ;
+        if (j < t.size() && t[j].kind == Token::Kind::Ident)
+            names.insert(t[j].text);
+        i = j;
+    }
+}
+
+FileReport
+analyzeFile(const std::string &path, const std::string &content,
+            const std::set<std::string> &unorderedNames)
+{
+    const Layer layer = layerOfPath(path);
+    const LexResult lexed = lex(content);
+
+    std::vector<Diagnostic> raw;
+    if (isSrcLayer(layer)) {
+        ruleDeterminism(path, lexed.tokens, raw);
+        ruleUnorderedIter(path, lexed.tokens, unorderedNames, raw);
+        ruleLogging(path, lexed.tokens, raw);
+    }
+    ruleAssertSideEffect(path, lexed.tokens, raw);
+    if (layer != Layer::Unknown)
+        ruleLayering(path, layer, lexed.tokens, raw);
+
+    std::vector<Suppression> sups;
+    FileReport report;
+    parseSuppressions(path, lexed.comments, sups, report.diagnostics);
+
+    for (auto &d : raw) {
+        bool silenced = false;
+        for (auto &s : sups)
+            if (s.line == d.line && s.rule == d.rule) {
+                s.used = true;
+                silenced = true;
+            }
+        if (silenced)
+            ++report.suppressed;
+        else
+            report.diagnostics.push_back(std::move(d));
+    }
+    for (const auto &s : sups)
+        if (!s.used)
+            report.diagnostics.push_back(Diagnostic{
+                path, s.line, s.col, "unused-suppression",
+                "NOLINT-SIM(" + s.rule +
+                    ") silences nothing on this line — remove it (stale "
+                    "annotations hide future violations)"});
+
+    std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.line, a.col, a.rule) <
+                         std::tie(b.line, b.col, b.rule);
+              });
+    return report;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    std::ostringstream oss;
+    oss << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule
+        << "] " << d.message;
+    return oss.str();
+}
+
+} // namespace neupims::lint

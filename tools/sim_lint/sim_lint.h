@@ -1,0 +1,103 @@
+/**
+ * @file
+ * sim-lint: repo-contract static analysis for the NeuPIMs simulator.
+ *
+ * Every headline number this repo produces rests on contracts that are
+ * cheap to state and expensive to re-debug once broken: simulation
+ * decisions may not depend on wall-clock time, unseeded randomness,
+ * unordered-container iteration order, or Debug-vs-NDEBUG differences,
+ * and the include graph must respect the layering DAG (most load-bearing:
+ * `runtime/` is hardware-free and must never include `dram/`). This tool
+ * turns those conventions into machine-checked rules that fail CI.
+ *
+ * The analysis is lexical, not semantic: a real C++ lexer (comments,
+ * string/char literals, raw strings, line splices, header-names) feeds
+ * token-pattern rules. That is exactly enough for the contracts above —
+ * each rule keys on names and call shapes, not types — and keeps the
+ * tool dependency-free and fast enough to gate every CI run.
+ *
+ * Suppressions: `// NOLINT-SIM(rule): reason` silences `rule` on the
+ * same line; `// NOLINT-SIM-NEXTLINE(rule): reason` on the next line.
+ * The reason is mandatory, the rule name must exist, and a suppression
+ * that silences nothing is itself a violation (`unused-suppression`),
+ * so annotations cannot rot.
+ */
+
+#ifndef NEUPIMS_TOOLS_SIM_LINT_H_
+#define NEUPIMS_TOOLS_SIM_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace neupims::lint {
+
+/** Architectural layer a file belongs to, derived from its path. */
+enum class Layer {
+    Common,   ///< src/common — leaf utilities, includes nothing else
+    Dram,     ///< src/dram — memory timing model
+    Npu,      ///< src/npu — compute pipelines (streams from dram)
+    Model,    ///< src/model — LLM graph + compiler (targets npu)
+    Runtime,  ///< src/runtime — hardware-free serving abstractions
+    Core,     ///< src/core — integration layer wiring runtime to hw
+    Analysis, ///< src/analysis — top-of-src derived metrics
+    Tests,    ///< tests/ — may include anything
+    Bench,    ///< bench/ — may include anything
+    Examples, ///< examples/ — may include anything
+    Tools,    ///< tools/ — may include anything
+    Unknown,  ///< not under a recognized root; only universal rules run
+};
+
+/** One finding, in the PR 6 `file:line:` diagnostic style plus column. */
+struct Diagnostic {
+    std::string file;
+    int line = 0;
+    int col = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Result of linting one file. */
+struct FileReport {
+    std::vector<Diagnostic> diagnostics; ///< violations after suppression
+    int suppressed = 0; ///< findings silenced by a NOLINT-SIM annotation
+};
+
+/** All rule identifiers, including the suppression-machinery ones. */
+const std::vector<std::string> &ruleNames();
+
+/** True iff `rule` may be named in a NOLINT-SIM annotation. */
+bool ruleSuppressible(const std::string &rule);
+
+/** Map a path to its layer: `src/<dir>/…`, `tests/…`, `bench/…`, … */
+Layer layerOfPath(const std::string &path);
+
+/** Human-readable layer name (`runtime`, `tests`, …). */
+const char *layerName(Layer layer);
+
+/** The allowed-edge table of the include DAG: may `from` include `to`? */
+bool layerEdgeAllowed(Layer from, Layer to);
+
+/**
+ * Pass 1: record every identifier declared with an
+ * `unordered_map`/`unordered_set` type so pass 2 can flag range-for
+ * iteration over it anywhere in `src/` (declarations live in headers,
+ * the hazardous loops in .cc files).
+ */
+void collectUnorderedNames(const std::string &content,
+                           std::set<std::string> &names);
+
+/**
+ * Pass 2: lint one file. `path` decides which rules apply (layer
+ * scoping) and is echoed into diagnostics; `content` is the file text;
+ * `unorderedNames` is the cross-file set from collectUnorderedNames.
+ */
+FileReport analyzeFile(const std::string &path, const std::string &content,
+                       const std::set<std::string> &unorderedNames);
+
+/** Render a diagnostic as `file:line:col: [rule] message`. */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace neupims::lint
+
+#endif // NEUPIMS_TOOLS_SIM_LINT_H_
